@@ -1,0 +1,19 @@
+"""Benchmark suite configuration.
+
+Every benchmark regenerates one paper figure (scaled down to a benchmark-
+friendly workload) inside the timed region and then asserts the figure's
+qualitative claim on the produced data — so `pytest benchmarks/
+--benchmark-only` doubles as the reproduction harness.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Time a single execution of an expensive experiment."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,36 @@
+"""Benchmarks for the conceptual beam figures (paper Figs. 2, 3, 4)."""
+
+from repro.experiments import fig02_beamwidth, fig03_grating_lobes
+from repro.experiments import fig04_multires_filter
+
+
+def test_fig02_beamwidth(benchmark):
+    result = benchmark(fig02_beamwidth.run)
+    widths = result.column("half_power_beamwidth_deg")
+    counts = result.column("antennas")
+    # More antennas ⇒ monotonically narrower beam (Fig. 2).
+    assert all(a > b for a, b in zip(widths, widths[1:]))
+    assert counts[0] == 2 and 4 in counts
+
+
+def test_fig03_grating_lobes(benchmark):
+    result = benchmark(fig03_grating_lobes.run)
+    lobes = result.column("grating_lobes")
+    widths = result.column("lobe_width_deg")
+    # Lobe count grows with separation, lobe width shrinks (Fig. 3).
+    assert lobes[0] == 1  # λ/2: unique beam
+    assert all(a <= b for a, b in zip(lobes, lobes[1:]))
+    assert all(a > b for a, b in zip(widths, widths[1:]))
+    assert lobes[-1] == 17  # 8λ, one-way convention
+
+
+def test_fig04_multires_filter(benchmark):
+    result = benchmark(fig04_multires_filter.run)
+    rows = {row["pattern"]: row for row in result.rows}
+    combined = rows["λ/2-filtered 8λ pair (Fig. 4)"]
+    array4 = rows["standard 4-antenna λ/2 array (Fig. 2b)"]
+    wide = rows["8λ pair alone (Fig. 3c)"]
+    # Same antenna budget, far narrower lobe than the standard array…
+    assert combined["lobe_width_deg"] < array4["lobe_width_deg"] / 3
+    # …while preserving the 8λ pair's resolution.
+    assert combined["lobe_width_deg"] <= wide["lobe_width_deg"] * 1.2

@@ -1,0 +1,34 @@
+"""Benchmarks for the positioning walkthrough and wrong-lobe figures."""
+
+import numpy as np
+
+from repro.experiments import fig06_positioning, fig07_wrong_lobe
+
+
+def test_fig06_two_stage_positioning(benchmark, once):
+    result = once(benchmark, fig06_positioning.run)
+    # The final candidate localises the source (conceptual, noise-free).
+    final = result.rows[-1]
+    assert final["error_cm"] < 1.0
+    # The combined stage is less ambiguous than intersections alone.
+    by_stage = {row["stage"]: row["surviving_cells"] for row in result.rows}
+    intersections = by_stage["(a) wide pairs only (grating-lobe intersections)"]
+    combined = by_stage["(d) all pairs combined"]
+    assert combined < intersections
+
+
+def test_fig07_wrong_lobe_shape_resilience(benchmark, once):
+    result = once(
+        benchmark, lambda: fig07_wrong_lobe.run(max_intersections=9)
+    )
+    offsets = np.array(result.column("start_offset_cm"))
+    shapes = np.array(result.column("shape_error_median_cm"))
+    # The correct intersection reconstructs essentially exactly.
+    assert shapes[offsets < 1.0].min() < 0.01
+    # Adjacent intersections keep the shape to a few mm (Fig. 7a)…
+    adjacent = shapes[(offsets > 5) & (offsets < 60)]
+    assert adjacent.size and np.median(adjacent) < 1.0
+    # …and distortion grows for far intersections (Fig. 7b).
+    far = shapes[offsets >= 60]
+    if far.size:
+        assert np.median(far) > np.median(adjacent)

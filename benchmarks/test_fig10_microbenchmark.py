@@ -1,0 +1,21 @@
+"""Benchmark for the paper's section 7 microbenchmark (Fig. 10)."""
+
+import numpy as np
+
+from repro.experiments import fig10_microbenchmark
+
+
+def test_fig10_trace_clear(benchmark, once):
+    result = once(benchmark, fig10_microbenchmark.run)
+    chosen = [row for row in result.rows if row["chosen"]]
+    others = [row for row in result.rows if not row["chosen"]]
+    assert len(chosen) == 1
+    winner = chosen[0]
+    # 7.2: the winner has the highest total vote of all candidates.
+    assert all(winner["total_vote"] >= row["total_vote"] for row in others)
+    # 7.3: shape preserved after removing the initial offset.
+    assert winner["shape_error_median_cm"] < 6.0
+    # 7.2/Fig 10(f): losing candidates' votes decay more by the end.
+    if others:
+        worst_late = min(row["late_vote_mean"] for row in others)
+        assert winner["late_vote_mean"] > worst_late

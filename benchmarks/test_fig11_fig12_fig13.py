@@ -1,0 +1,64 @@
+"""Benchmarks for the error-CDF figures (paper Figs. 11, 12, 13).
+
+These are the paper's headline quantitative results; the benchmark runs a
+scaled-down evaluation (enough sessions for stable medians) and asserts
+the orderings and rough factors the paper reports.
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    fig11_trajectory_cdf,
+    fig12_initial_position_cdf,
+    fig13_initial_vs_trajectory,
+)
+
+
+def test_fig11_trajectory_error_cdf(benchmark, once):
+    result = once(benchmark, lambda: fig11_trajectory_cdf.run(words=6, seed=11))
+    rows = {
+        (row["setting"], row["system"]): row for row in result.rows
+    }
+    for setting in ("LOS", "NLOS"):
+        rfidraw = rows[(setting, "RF-IDraw")]["median_cm"]
+        arrays = rows[(setting, "Antenna arrays")]["median_cm"]
+        # RF-IDraw traces at centimetre scale; the arrays are an order of
+        # magnitude worse (paper: 11× LOS, 16× NLOS).
+        assert rfidraw < 10.0
+        assert arrays > 3.0 * rfidraw
+    # NLOS hurts but does not break RF-IDraw (3.7 → 4.9 cm in the paper).
+    assert rows[("NLOS", "RF-IDraw")]["median_cm"] < 15.0
+
+
+def test_fig12_initial_position_cdf(benchmark, once):
+    result = once(
+        benchmark, lambda: fig12_initial_position_cdf.run(words=6, seed=12)
+    )
+    rows = {(row["setting"], row["system"]): row for row in result.rows}
+    for setting in ("LOS", "NLOS"):
+        rfidraw = rows[(setting, "RF-IDraw")]["median_cm"]
+        arrays = rows[(setting, "Antenna arrays")]["median_cm"]
+        # The trajectory-vote refinement keeps RF-IDraw's initial fix
+        # at least on par with the arrays' (paper: 2.2× better).
+        assert rfidraw <= arrays * 1.5
+        assert rfidraw < 100.0
+
+
+def test_fig13_initial_vs_trajectory_error(benchmark, once):
+    result = once(
+        benchmark, lambda: fig13_initial_vs_trajectory.run(words=8, seed=13)
+    )
+    populated = [
+        row
+        for row in result.rows
+        if row["traces"] > 0 and np.isfinite(row["median_trajectory_error_cm"])
+    ]
+    assert populated, "no bins populated"
+    # Small initial errors keep the trajectory error at centimetres.
+    small_bins = [
+        row["median_trajectory_error_cm"]
+        for row in populated
+        if row["initial_error_bin_m"] in ("0-0.1", "0.1-0.2", "0.2-0.3", "0.3-0.4")
+    ]
+    if small_bins:
+        assert min(small_bins) < 8.0

@@ -1,0 +1,52 @@
+"""Benchmarks for the virtual-touch-screen application figures (14–16)."""
+
+import numpy as np
+
+from repro.experiments import (
+    fig14_char_recognition,
+    fig15_word_recognition,
+    fig16_play_5m,
+)
+
+
+def test_fig14_character_recognition(benchmark, once):
+    result = once(
+        benchmark,
+        lambda: fig14_char_recognition.run(words_per_distance=3, seed=14),
+    )
+    for row in result.rows:
+        # RF-IDraw reads characters at every distance; the arrays sit
+        # at/near the 1/26 random-guess floor (paper Fig. 14). The
+        # fast-preset sample is small, so the thresholds are generous:
+        # the required *shape* is a wide RF-IDraw-over-arrays gap.
+        assert row["rfidraw_percent"] >= 45.0
+        assert row["arrays_percent"] <= 40.0
+        assert row["rfidraw_percent"] > row["arrays_percent"] + 20.0
+
+
+def test_fig15_word_recognition(benchmark, once):
+    result = once(
+        benchmark,
+        lambda: fig15_word_recognition.run(
+            words_per_length=2, lengths=(3, 5), include_baseline=True
+        ),
+    )
+    rf_rates = [row["rfidraw_percent"] for row in result.rows]
+    arr_rates = [row["arrays_percent"] for row in result.rows]
+    # The arrays never recognise a whole word (paper: 0 %); RF-IDraw
+    # recognises a clear majority overall (small per-bucket samples are
+    # noisy, so assert on the aggregate).
+    assert max(arr_rates) <= 50.0
+    assert float(np.mean(rf_rates)) >= 50.0
+    assert float(np.mean(rf_rates)) > float(np.mean(arr_rates))
+
+
+def test_fig16_play_at_range_limit(benchmark, once):
+    result = once(benchmark, fig16_play_5m.run)
+    rows = {row["system"]: row for row in result.rows}
+    rfidraw = rows["RF-IDraw"]
+    arrays = rows["Antenna arrays"]
+    # RF-IDraw reproduces the word at 5 m; the arrays' shape is far worse.
+    assert rfidraw["shape_error_median_cm"] < 12.0
+    assert arrays["shape_error_median_cm"] > 2 * rfidraw["shape_error_median_cm"]
+    assert rfidraw["procrustes_disparity"] < arrays["procrustes_disparity"]

@@ -1,0 +1,23 @@
+"""Benchmark for the section 3.3 noise-robustness law."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import noise_robustness
+
+
+def test_noise_sensitivity_law(benchmark):
+    result = benchmark(noise_robustness.run)
+    analytic = result.column("analytic_cos_error")
+    monte_carlo = result.column("monte_carlo_mean_cos_error")
+    separations = result.column("separation_in_wavelengths")
+    # The paper's exact worked numbers.
+    assert analytic[0] == pytest.approx(0.2)
+    assert analytic[-1] == pytest.approx(0.0125)
+    # Sensitivity ∝ 1/D.
+    for (s1, a1), (s2, a2) in zip(
+        zip(separations, analytic), zip(separations[1:], analytic[1:])
+    ):
+        assert a1 / a2 == pytest.approx(s2 / s1, rel=1e-6)
+    # Monte-Carlo agrees with the analytic law.
+    assert np.allclose(analytic, monte_carlo, rtol=0.05)

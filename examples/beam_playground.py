@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Explore the resolution/ambiguity tradeoff behind RF-IDraw (paper §3).
+
+Prints terminal renderings of:
+
+* antenna-pair beam patterns at λ/2, λ and 8λ separations (Fig. 3),
+* the multi-resolution combination (Fig. 4),
+* the grating-lobe count and noise-sensitivity laws (§3.2, §3.3).
+
+Run it with::
+
+    python examples/beam_playground.py
+"""
+
+import numpy as np
+
+from repro.rf.beams import (
+    count_grating_lobes,
+    lobe_width_at,
+    pair_beam_pattern,
+    phase_noise_sensitivity,
+)
+from repro.rf.constants import DEFAULT_WAVELENGTH
+
+
+def sparkline(values: np.ndarray, width: int = 72) -> str:
+    """Render a 1-D pattern with unicode block characters."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    resampled = np.interp(
+        np.linspace(0, len(values) - 1, width),
+        np.arange(len(values)),
+        values,
+    )
+    peak = resampled.max() or 1.0
+    return "".join(
+        blocks[int(round(value / peak * (len(blocks) - 1)))]
+        for value in resampled
+    )
+
+
+def main() -> None:
+    wavelength = DEFAULT_WAVELENGTH
+    theta = np.linspace(0, np.pi, 2001)
+    print(f"Carrier 922 MHz, λ = {wavelength:.3f} m. Patterns over θ ∈ [0°, 180°]:\n")
+
+    for label, sep_wl in (("λ/2", 0.5), ("λ", 1.0), ("8λ", 8.0)):
+        separation = sep_wl * wavelength
+        pattern = pair_beam_pattern(theta, separation, wavelength)
+        lobes = count_grating_lobes(separation, wavelength)
+        width = np.degrees(lobe_width_at(theta, pattern, np.pi / 2))
+        print(f"pair separation {label:>4}: {lobes:2d} lobe(s), "
+              f"broadside lobe width {width:5.1f}°")
+        print(f"  {sparkline(pattern)}")
+
+    # The multi-resolution trick (Fig. 4): multiply 8λ lobes by the λ/2 beam.
+    wide = pair_beam_pattern(theta, 8 * wavelength, wavelength)
+    coarse = pair_beam_pattern(theta, wavelength / 2, wavelength)
+    combined = wide * coarse
+    print("\nλ/2 beam applied as a filter on the 8λ lobes (Fig. 4):")
+    print(f"  {sparkline(combined)}")
+    width = np.degrees(lobe_width_at(theta, combined, np.pi / 2))
+    print(f"  one dominant lobe of width {width:.1f}° — 4 antennas total, "
+          "far sharper than a standard 4-antenna array (~27°).")
+
+    print("\nNoise robustness (§3.3), φn = π/5:")
+    for sep_wl in (0.5, 1.0, 2.0, 4.0, 8.0):
+        sensitivity = phase_noise_sensitivity(
+            sep_wl * wavelength, wavelength, np.pi / 5
+        )
+        print(f"  D = {sep_wl:>3}λ → cosθ error {sensitivity:.4f}")
+
+
+if __name__ == "__main__":
+    main()

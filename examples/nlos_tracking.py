@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Non-line-of-sight tracking through cubicle separators.
+
+Reproduces the paper's NLOS story (section 8.1): the reader antennas sit
+behind wooden separators in an office lounge; absolute positioning
+degrades, but the trajectory *shape* survives because RF-IDraw follows
+the dominant path's grating lobes. The same word is traced in the LOS
+VICON room and the NLOS lounge, with both systems, and all four error
+numbers are compared side by side.
+
+Run it with::
+
+    python examples/nlos_tracking.py
+"""
+
+import numpy as np
+
+from repro.analysis.metrics import (
+    initial_position_error,
+    trajectory_error_baseline,
+    trajectory_error_rfidraw,
+)
+from repro.experiments.scenarios import ScenarioConfig, simulate_word
+
+
+def evaluate(word: str, los: bool, seed: int) -> dict:
+    config = ScenarioConfig(distance=2.2, los=los)
+    run = simulate_word(word, user=4, seed=seed, config=config)
+
+    truth = run.truth_on(run.timeline)
+    rfidraw = run.rfidraw_result.trajectory
+    baseline_truth = run.truth_on(run.baseline_timeline)
+    baseline = run.baseline_trajectory
+    return {
+        "rfidraw_shape_cm": 100 * float(
+            np.median(trajectory_error_rfidraw(rfidraw, truth))
+        ),
+        "rfidraw_init_cm": 100 * initial_position_error(rfidraw, truth),
+        "arrays_shape_cm": 100 * float(
+            np.median(trajectory_error_baseline(baseline, baseline_truth))
+        ),
+        "arrays_init_cm": 100 * initial_position_error(
+            baseline, baseline_truth
+        ),
+    }
+
+
+def main() -> None:
+    word = "house"
+    print(f'Tracing "{word}" in LOS (VICON room) and NLOS (office lounge)…\n')
+    rows = []
+    for los in (True, False):
+        for seed in (31, 32, 33):
+            metrics = evaluate(word, los, seed)
+            metrics["setting"] = "LOS" if los else "NLOS"
+            rows.append(metrics)
+
+    header = (
+        f"{'setting':8} {'RF-IDraw shape':>15} {'RF-IDraw init':>14} "
+        f"{'Arrays shape':>13} {'Arrays init':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['setting']:8} {row['rfidraw_shape_cm']:>13.1f}cm "
+            f"{row['rfidraw_init_cm']:>12.1f}cm "
+            f"{row['arrays_shape_cm']:>11.1f}cm "
+            f"{row['arrays_init_cm']:>10.1f}cm"
+        )
+
+    los_shape = np.median([r["rfidraw_shape_cm"] for r in rows if r["setting"] == "LOS"])
+    nlos_shape = np.median([r["rfidraw_shape_cm"] for r in rows if r["setting"] == "NLOS"])
+    print(
+        f"\nRF-IDraw shape error: {los_shape:.1f} cm LOS → {nlos_shape:.1f} cm "
+        "NLOS — the shape survives the separators (paper: 3.7 → 4.9 cm)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for legacy editable installs (offline, no `wheel` package).
+
+All project metadata lives in ``pyproject.toml``; setuptools ≥ 61 reads it
+from there when this shim runs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""Evaluation metrics, CDFs and shape similarity (paper section 8)."""
+
+from repro.analysis.metrics import (
+    initial_position_error,
+    point_errors,
+    remove_initial_offset,
+    remove_mean_offset,
+    trajectory_error_baseline,
+    trajectory_error_rfidraw,
+)
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.shape import hausdorff_distance, procrustes_disparity
+
+__all__ = [
+    "initial_position_error",
+    "point_errors",
+    "remove_initial_offset",
+    "remove_mean_offset",
+    "trajectory_error_baseline",
+    "trajectory_error_rfidraw",
+    "EmpiricalCdf",
+    "hausdorff_distance",
+    "procrustes_disparity",
+]

@@ -1,0 +1,52 @@
+"""Empirical CDFs, the way the paper plots errors (Figs. 11 and 12)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["EmpiricalCdf"]
+
+
+class EmpiricalCdf:
+    """An empirical cumulative distribution over scalar samples."""
+
+    def __init__(self, samples) -> None:
+        samples = np.asarray(samples, dtype=float).ravel()
+        samples = samples[np.isfinite(samples)]
+        if samples.size == 0:
+            raise ValueError("need at least one finite sample")
+        self.samples = np.sort(samples)
+
+    def __len__(self) -> int:
+        return int(self.samples.size)
+
+    def percentile(self, q: float) -> float:
+        """Value at percentile ``q`` ∈ [0, 100]."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be within [0, 100]")
+        return float(np.percentile(self.samples, q))
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def evaluate(self, x) -> np.ndarray:
+        """P(sample ≤ x), vectorised over ``x``."""
+        x = np.asarray(x, dtype=float)
+        return np.searchsorted(self.samples, x, side="right") / self.samples.size
+
+    def curve(self, points: int = 200) -> tuple[np.ndarray, np.ndarray]:
+        """``(x, F(x))`` arrays spanning the sample range, for plotting."""
+        if points < 2:
+            raise ValueError("need at least two curve points")
+        xs = np.linspace(self.samples[0], self.samples[-1], points)
+        return xs, self.evaluate(xs)
+
+    def summary(self) -> dict[str, float]:
+        """The numbers the paper quotes: median and 90th percentile."""
+        return {
+            "median": self.median,
+            "p90": self.percentile(90.0),
+            "mean": float(self.samples.mean()),
+            "count": float(self.samples.size),
+        }

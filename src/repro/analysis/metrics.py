@@ -1,0 +1,87 @@
+"""The paper's trajectory-error metrics, with its exact offset conventions.
+
+Section 8.1 defines two deliberately different offset-removal rules:
+
+* **RF-IDraw**: remove the *initial-position* offset, then take
+  point-by-point distances — because RF-IDraw's error is a coherent
+  transform of the shape anchored at the start.
+* **Antenna-array baseline**: remove the *mean* (DC) position difference,
+  then take point-by-point distances — because the baseline's errors are
+  independent per point, removing the initial offset would make things
+  worse, and removing the mean "is favorable to the compared scheme".
+
+Both reconstructions are compared against ground truth sampled on the
+reconstruction's own timeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "point_errors",
+    "remove_initial_offset",
+    "remove_mean_offset",
+    "trajectory_error_rfidraw",
+    "trajectory_error_baseline",
+    "initial_position_error",
+]
+
+
+def _check_aligned(reconstructed: np.ndarray, truth: np.ndarray) -> None:
+    if reconstructed.shape != truth.shape:
+        raise ValueError(
+            f"trajectories must align: {reconstructed.shape} vs {truth.shape}"
+        )
+    if reconstructed.ndim != 2 or reconstructed.shape[1] != 2:
+        raise ValueError("trajectories are (N, 2) plane coordinates")
+
+
+def point_errors(reconstructed: np.ndarray, truth: np.ndarray) -> np.ndarray:
+    """Plain point-by-point Euclidean distances (no offset removal)."""
+    reconstructed = np.asarray(reconstructed, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    _check_aligned(reconstructed, truth)
+    return np.linalg.norm(reconstructed - truth, axis=1)
+
+
+def remove_initial_offset(
+    reconstructed: np.ndarray, truth: np.ndarray
+) -> np.ndarray:
+    """Shift the reconstruction so its first point matches the truth's."""
+    reconstructed = np.asarray(reconstructed, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    _check_aligned(reconstructed, truth)
+    return reconstructed - (reconstructed[0] - truth[0])
+
+
+def remove_mean_offset(reconstructed: np.ndarray, truth: np.ndarray) -> np.ndarray:
+    """Shift the reconstruction by the mean position difference (DC removal)."""
+    reconstructed = np.asarray(reconstructed, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    _check_aligned(reconstructed, truth)
+    return reconstructed - (reconstructed - truth).mean(axis=0)
+
+
+def trajectory_error_rfidraw(
+    reconstructed: np.ndarray, truth: np.ndarray
+) -> np.ndarray:
+    """Per-point errors after removing the initial offset (RF-IDraw rule)."""
+    return point_errors(remove_initial_offset(reconstructed, truth), truth)
+
+
+def trajectory_error_baseline(
+    reconstructed: np.ndarray, truth: np.ndarray
+) -> np.ndarray:
+    """Per-point errors after removing the mean offset (baseline rule)."""
+    return point_errors(remove_mean_offset(reconstructed, truth), truth)
+
+
+def initial_position_error(
+    reconstructed: np.ndarray, truth: np.ndarray
+) -> float:
+    """Distance between the first reconstructed point and the true start."""
+    reconstructed = np.asarray(reconstructed, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    _check_aligned(reconstructed, truth)
+    return float(np.linalg.norm(reconstructed[0] - truth[0]))

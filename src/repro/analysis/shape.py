@@ -1,0 +1,49 @@
+"""Shape-similarity measures, used to quantify "shape resilience".
+
+The paper argues qualitatively (Figs. 7, 10(e), 16) that RF-IDraw's
+reconstructions preserve trajectory *shape* even with absolute offsets.
+These metrics make that quantitative: Procrustes disparity is invariant to
+translation and uniform scale (the transforms shape resilience permits),
+and Hausdorff distance measures worst-case outline deviation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["procrustes_disparity", "hausdorff_distance"]
+
+
+def procrustes_disparity(a: np.ndarray, b: np.ndarray) -> float:
+    """Translation+scale-invariant shape disparity between two trajectories.
+
+    Both inputs are centred and scaled to unit Frobenius norm; the result
+    is the mean squared distance between corresponding points (no rotation
+    fit — a reconstruction that *rotates* the writing is a real error).
+    Range: 0 (identical shape) … 2.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape or a.ndim != 2:
+        raise ValueError("trajectories must be equal-shape (N, D) arrays")
+    if a.shape[0] < 2:
+        raise ValueError("need at least two points")
+    a = a - a.mean(axis=0)
+    b = b - b.mean(axis=0)
+    norm_a = np.linalg.norm(a)
+    norm_b = np.linalg.norm(b)
+    if norm_a < 1e-12 or norm_b < 1e-12:
+        raise ValueError("degenerate (zero-extent) trajectory")
+    a = a / norm_a
+    b = b / norm_b
+    return float(np.sum((a - b) ** 2))
+
+
+def hausdorff_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Symmetric Hausdorff distance between two point sets (metres)."""
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    b = np.atleast_2d(np.asarray(b, dtype=float))
+    if a.shape[1] != b.shape[1]:
+        raise ValueError("point sets must share dimensionality")
+    cross = np.linalg.norm(a[:, np.newaxis, :] - b[np.newaxis, :, :], axis=2)
+    return float(max(cross.min(axis=1).max(), cross.min(axis=0).max()))

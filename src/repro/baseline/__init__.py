@@ -1,0 +1,13 @@
+"""The compared scheme: classic antenna-array AoA positioning (paper §6).
+
+Two uniform linear 4-antenna arrays (λ/4 element spacing to account for
+backscatter) each estimate an angle of arrival by beam scanning; the two
+beams are intersected to fix the tag position, independently at every time
+step — exactly how the paper configures the state-of-the-art baseline
+[Azzouzi et al., IEEE RFID 2011] it compares against.
+"""
+
+from repro.baseline.aoa import BeamScanAoA
+from repro.baseline.tracker import ArrayIntersectionTracker
+
+__all__ = ["BeamScanAoA", "ArrayIntersectionTracker"]

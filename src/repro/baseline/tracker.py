@@ -1,0 +1,96 @@
+"""Position tracking by intersecting two arrays' AoA beams (paper §6, §8).
+
+"In the antenna array based system, each 4-antenna array measures an angle
+of arrival of the RFID, then the beams of the arrays are intersected to
+estimate the RFID position for each point on the trajectory" — each time
+step is estimated *independently*, which is why the baseline's errors along
+a trajectory are random and uncorrelated (paper section 8.2).
+
+Geometry: a linear array constrains the source to the cone
+``cos∠(P − centre, axis) = cosθ̂``. With both arrays on the wall and the
+tag on the writing plane, intersecting the two cones with the plane leaves
+(generically) one consistent point in the search region, found here by a
+precomputed grid scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.plane import WritingPlane
+from repro.baseline.aoa import BeamScanAoA
+
+__all__ = ["ArrayIntersectionTracker"]
+
+
+@dataclass
+class ArrayIntersectionTracker:
+    """Intersects the AoA cones of two linear arrays on the writing plane.
+
+    Attributes:
+        arrays: the AoA estimators (the paper uses two).
+        plane: the writing plane positions are reported in.
+        u_range / v_range: search region in plane coordinates.
+        grid_step: search grid pitch. The baseline's errors are tens of
+            centimetres, so a 2 cm grid adds no measurable quantisation.
+    """
+
+    arrays: list[BeamScanAoA]
+    plane: WritingPlane
+    u_range: tuple[float, float] = (-0.7, 3.3)
+    v_range: tuple[float, float] = (-0.3, 2.9)
+    grid_step: float = 0.02
+
+    def __post_init__(self) -> None:
+        if len(self.arrays) < 2:
+            raise ValueError("beam intersection needs at least two arrays")
+        points, us, vs = self.plane.grid(self.u_range, self.v_range, self.grid_step)
+        self._grid_uv = np.stack(
+            [np.repeat(us[np.newaxis, :], vs.size, axis=0).ravel(),
+             np.repeat(vs[:, np.newaxis], us.size, axis=1).ravel()],
+            axis=1,
+        )
+        # Precompute each array's cos-angle to every grid point.
+        self._cos_maps = []
+        for array in self.arrays:
+            offsets = points - array.center
+            norms = np.linalg.norm(offsets, axis=1)
+            self._cos_maps.append((offsets @ array.axis) / np.maximum(norms, 1e-9))
+
+    # ------------------------------------------------------------------
+    def locate(self, phases_per_array: list[np.ndarray]) -> np.ndarray:
+        """One independent position fix from per-array element phases."""
+        if len(phases_per_array) != len(self.arrays):
+            raise ValueError("one phase vector per array required")
+        misfit = np.zeros(self._grid_uv.shape[0])
+        for array, cos_map, phases in zip(
+            self.arrays, self._cos_maps, phases_per_array
+        ):
+            estimate = array.estimate_cos_theta(np.asarray(phases, dtype=float))
+            misfit += np.square(cos_map - estimate)
+        return self._grid_uv[int(np.argmin(misfit))].copy()
+
+    def track(
+        self, phase_streams: list[np.ndarray]
+    ) -> np.ndarray:
+        """Reconstruct a trajectory, one independent fix per time step.
+
+        Args:
+            phase_streams: one ``(T, n_elements)`` array per array, giving
+                each element's phase at every timeline step.
+
+        Returns:
+            ``(T, 2)`` plane coordinates.
+        """
+        if len(phase_streams) != len(self.arrays):
+            raise ValueError("one phase stream per array required")
+        streams = [np.asarray(stream, dtype=float) for stream in phase_streams]
+        steps = streams[0].shape[0]
+        if any(stream.shape[0] != steps for stream in streams):
+            raise ValueError("phase streams do not share a timeline")
+        positions = np.empty((steps, 2))
+        for step in range(steps):
+            positions[step] = self.locate([stream[step] for stream in streams])
+        return positions

@@ -1,0 +1,42 @@
+"""RF-IDraw's core algorithms (paper sections 3–5).
+
+* :mod:`repro.core.voting` — the antenna-pair vote of Eq. 6/7.
+* :mod:`repro.core.positioning` — the two-stage multi-resolution
+  positioning algorithm (section 5.1).
+* :mod:`repro.core.tracing` — the grating-lobe trajectory tracing
+  algorithm (section 5.2), in both least-squares and paper-faithful
+  grid-search forms.
+* :mod:`repro.core.pipeline` — :class:`RFIDrawSystem`, the end-to-end
+  facade from phase series to a chosen trajectory.
+"""
+
+from repro.core.voting import VoteMap, pair_votes, total_votes
+from repro.core.positioning import (
+    MultiResolutionPositioner,
+    PositionCandidate,
+    PositionerConfig,
+)
+from repro.core.tracing import (
+    GridTracer,
+    TraceResult,
+    TracerConfig,
+    TrajectoryTracer,
+    lock_lobes,
+)
+from repro.core.pipeline import ReconstructionResult, RFIDrawSystem
+
+__all__ = [
+    "VoteMap",
+    "pair_votes",
+    "total_votes",
+    "MultiResolutionPositioner",
+    "PositionCandidate",
+    "PositionerConfig",
+    "GridTracer",
+    "TraceResult",
+    "TracerConfig",
+    "TrajectoryTracer",
+    "lock_lobes",
+    "ReconstructionResult",
+    "RFIDrawSystem",
+]

@@ -1,0 +1,278 @@
+"""Two-stage multi-resolution positioning (paper section 5.1).
+
+Stage 1 — the coarse spatial filter. The tightly spaced pairs (one unique
+wide beam each) vote on a coarse grid over the writing plane; cells within
+a margin of the best total vote form the *candidate region* (paper
+Fig. 6(b)). The remaining same-reader pairs of the filter reader (larger
+separations, e.g. ``<5,7>``) then refine that region on a finer grid
+(Fig. 6(c)).
+
+Stage 2 — resolution. The widely spaced pairs add their votes on the fine
+grid *within the candidate region only*, and the surviving local maxima are
+the candidate positions (Fig. 6(d)). Each is polished by a lobe-locked
+least-squares step so candidates are not quantised to the grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from repro.geometry.antennas import AntennaPair, Deployment
+from repro.geometry.layouts import TIGHT_READER, WIDE_READER
+from repro.geometry.plane import WritingPlane
+from repro.rf.constants import DEFAULT_WAVELENGTH
+from repro.rf.phase import cycle_residual
+from repro.core.voting import total_votes
+from repro.rfid.sampling import PhaseSnapshot
+
+__all__ = ["PositionCandidate", "PositionerConfig", "MultiResolutionPositioner"]
+
+
+@dataclass(frozen=True)
+class PositionCandidate:
+    """A candidate tag position in plane coordinates, with its total vote."""
+
+    position: np.ndarray
+    vote: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "position", np.asarray(self.position, dtype=float)
+        )
+        if self.position.shape != (2,):
+            raise ValueError("candidate positions are 2-D plane coordinates")
+
+
+@dataclass
+class PositionerConfig:
+    """Tunables of the two-stage voting algorithm.
+
+    Margins are in total-vote units (cycles²): a cell survives a stage if
+    its total vote is within the margin of that stage's best vote.
+    """
+
+    u_range: tuple[float, float] = (-0.7, 3.3)
+    v_range: tuple[float, float] = (-0.3, 2.9)
+    coarse_step: float = 0.04
+    fine_step: float = 0.01
+    coarse_margin: float = 0.04
+    fine_margin: float = 0.09
+    candidate_count: int = 4
+    min_candidate_separation: float = 0.15
+    refine_candidates: bool = True
+
+    def __post_init__(self) -> None:
+        if self.coarse_step <= 0 or self.fine_step <= 0:
+            raise ValueError("grid steps must be positive")
+        if self.fine_step > self.coarse_step:
+            raise ValueError("the fine grid should be finer than the coarse grid")
+        if self.candidate_count < 1:
+            raise ValueError("need at least one candidate")
+
+
+class MultiResolutionPositioner:
+    """The paper's two-stage voting positioner.
+
+    Args:
+        deployment: the 8-antenna RF-IDraw deployment.
+        plane: the writing plane positions are reported in.
+        wavelength: carrier wavelength.
+        round_trip: 2 for RFID backscatter.
+        config: grid/threshold tunables.
+        filter_reader: reader whose pairs form the coarse filter
+            (default: the tightly spaced reader 2).
+        resolution_reader: reader whose pairs provide resolution
+            (default: the widely spaced reader 1).
+    """
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        plane: WritingPlane,
+        wavelength: float = DEFAULT_WAVELENGTH,
+        round_trip: float = 2.0,
+        config: PositionerConfig | None = None,
+        filter_reader: int = TIGHT_READER,
+        resolution_reader: int = WIDE_READER,
+    ) -> None:
+        self.deployment = deployment
+        self.plane = plane
+        self.wavelength = wavelength
+        self.round_trip = round_trip
+        self.config = config or PositionerConfig()
+        self.filter_reader = filter_reader
+        self.resolution_reader = resolution_reader
+
+    # ------------------------------------------------------------------
+    # Pair classification
+    # ------------------------------------------------------------------
+    def split_pairs(
+        self, snapshot: PhaseSnapshot
+    ) -> tuple[list[int], list[int], list[int]]:
+        """Indices of (unique-beam filter, other filter, resolution) pairs.
+
+        A pair has a unique beam when ``round_trip · D ≤ λ/2 · (1 + ε)``.
+        """
+        unique_beam: list[int] = []
+        other_filter: list[int] = []
+        resolution: list[int] = []
+        threshold = self.wavelength / 2.0 * 1.05 / self.round_trip
+        for index, pair in enumerate(snapshot.pairs):
+            if pair.reader_id == self.filter_reader:
+                if pair.separation <= threshold:
+                    unique_beam.append(index)
+                else:
+                    other_filter.append(index)
+            elif pair.reader_id == self.resolution_reader:
+                resolution.append(index)
+        return unique_beam, other_filter, resolution
+
+    # ------------------------------------------------------------------
+    # Stages
+    # ------------------------------------------------------------------
+    def coarse_region(self, snapshot: PhaseSnapshot) -> np.ndarray:
+        """Stage 1a: fine-grid points surviving the wide-beam filter.
+
+        Returns ``(N, 3)`` world points of the fine grid restricted to the
+        coarse candidate region.
+        """
+        cfg = self.config
+        unique_beam, _, _ = self.split_pairs(snapshot)
+        if not unique_beam:
+            raise ValueError(
+                "no unique-beam (tightly spaced) pairs in snapshot; "
+                "the coarse filter needs them"
+            )
+        pairs = [snapshot.pairs[i] for i in unique_beam]
+        phis = snapshot.delta_phi[unique_beam]
+
+        coarse_points, us, vs = self.plane.grid(
+            cfg.u_range, cfg.v_range, cfg.coarse_step
+        )
+        votes = total_votes(
+            pairs, phis, coarse_points, self.wavelength, self.round_trip
+        )
+        keep = votes >= votes.max() - cfg.coarse_margin
+
+        # Expand each surviving coarse cell into fine-grid points.
+        ratio = max(1, int(round(cfg.coarse_step / cfg.fine_step)))
+        offsets = (np.arange(ratio) - (ratio - 1) / 2.0) * cfg.fine_step
+        uu, vv = np.meshgrid(us, vs)
+        survivors = np.stack([uu.ravel()[keep], vv.ravel()[keep]], axis=1)
+        du, dv = np.meshgrid(offsets, offsets)
+        cell = np.stack([du.ravel(), dv.ravel()], axis=1)
+        fine_uv = (survivors[:, np.newaxis, :] + cell[np.newaxis, :, :]).reshape(
+            -1, 2
+        )
+        return self.plane.to_world(fine_uv)
+
+    def candidates(
+        self, snapshot: PhaseSnapshot, count: int | None = None
+    ) -> list[PositionCandidate]:
+        """Run both stages and return candidate positions, best vote first."""
+        cfg = self.config
+        count = cfg.candidate_count if count is None else count
+        unique_beam, other_filter, resolution = self.split_pairs(snapshot)
+        if not resolution:
+            raise ValueError("no widely spaced pairs in snapshot")
+
+        fine_points = self.coarse_region(snapshot)
+
+        # Stage 1b: refine the region with the remaining filter pairs.
+        filter_indices = unique_beam + other_filter
+        filter_pairs = [snapshot.pairs[i] for i in filter_indices]
+        filter_votes = total_votes(
+            filter_pairs,
+            snapshot.delta_phi[filter_indices],
+            fine_points,
+            self.wavelength,
+            self.round_trip,
+        )
+        keep = filter_votes >= filter_votes.max() - cfg.fine_margin
+        fine_points = fine_points[keep]
+        filter_votes = filter_votes[keep]
+
+        # Stage 2: add the high-resolution pairs' votes.
+        res_pairs = [snapshot.pairs[i] for i in resolution]
+        votes = filter_votes + total_votes(
+            res_pairs,
+            snapshot.delta_phi[resolution],
+            fine_points,
+            self.wavelength,
+            self.round_trip,
+        )
+
+        order = np.argsort(votes)[::-1]
+        picked: list[PositionCandidate] = []
+        plane_uv = self.plane.to_plane(fine_points)
+        all_pairs = snapshot.pairs
+        for index in order:
+            point = plane_uv[index]
+            if any(
+                np.linalg.norm(point - chosen.position)
+                < cfg.min_candidate_separation
+                for chosen in picked
+            ):
+                continue
+            candidate = PositionCandidate(point, float(votes[index]))
+            if cfg.refine_candidates:
+                candidate = self._refine(candidate, all_pairs, snapshot.delta_phi)
+            picked.append(candidate)
+            if len(picked) >= count:
+                break
+        return picked
+
+    def locate(self, snapshot: PhaseSnapshot) -> PositionCandidate:
+        """Single best position estimate (no trajectory refinement)."""
+        found = self.candidates(snapshot, count=1)
+        return found[0]
+
+    # ------------------------------------------------------------------
+    # Sub-grid refinement
+    # ------------------------------------------------------------------
+    def _refine(
+        self,
+        candidate: PositionCandidate,
+        pairs: list[AntennaPair],
+        delta_phis: np.ndarray,
+    ) -> PositionCandidate:
+        """Polish a grid candidate by lobe-locked least squares."""
+        start_world = self.plane.to_world(candidate.position)
+        locks = [
+            int(
+                np.round(
+                    self.round_trip * pair.path_difference(start_world)
+                    / self.wavelength
+                    - float(phi) / (2.0 * np.pi)
+                )
+            )
+            for pair, phi in zip(pairs, delta_phis)
+        ]
+
+        def residuals(uv: np.ndarray) -> np.ndarray:
+            world = self.plane.to_world(uv)
+            return np.array(
+                [
+                    cycle_residual(
+                        pair.path_difference(world),
+                        float(phi),
+                        self.wavelength,
+                        self.round_trip,
+                        k=lock,
+                    )
+                    for pair, phi, lock in zip(pairs, delta_phis, locks)
+                ]
+            )
+
+        solution = least_squares(
+            residuals,
+            candidate.position,
+            method="lm",
+            xtol=1e-10,
+            ftol=1e-10,
+        )
+        vote = float(-np.sum(np.square(solution.fun)))
+        return PositionCandidate(solution.x, vote)

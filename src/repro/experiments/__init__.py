@@ -1,0 +1,12 @@
+"""Paper-figure experiments.
+
+One module per figure/table of the paper's evaluation; each exposes a
+``run(...)`` function returning an :class:`~repro.experiments.harness.ExperimentResult`
+whose rows mirror the figure's series, plus a module-level ``PAPER``
+constant recording the numbers the paper reports. ``python -m
+repro.experiments`` runs them all and prints a paper-vs-measured report.
+"""
+
+from repro.experiments.harness import ExperimentResult, format_result
+
+__all__ = ["ExperimentResult", "format_result"]

@@ -1,0 +1,113 @@
+"""Figure 4 — multi-resolution filtering: wide beam × grating lobes.
+
+The paper's Fig. 4 applies the single wide beam of a λ/2 pair (Fig. 3(a))
+as a filter on the 8λ pair's grating lobes (Fig. 3(c)): "most of the
+unintended beams have been filtered out and there is one distinctive
+narrow beam". It then notes that this 4-antenna arrangement beats the
+standard 4-antenna array of Fig. 2(b).
+
+This experiment reproduces the comparison quantitatively: the combined
+(λ/2-filtered 8λ) pattern's surviving-lobe width vs the 4-antenna λ/2
+array's beam width, and the suppression of the strongest filtered-out
+lobe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rf.beams import (
+    array_beam_pattern,
+    lobe_width_at,
+    main_lobe_mask,
+    pair_beam_pattern,
+)
+from repro.rf.constants import DEFAULT_WAVELENGTH
+from repro.experiments.harness import ExperimentResult
+
+__all__ = ["run", "PAPER"]
+
+#: "Both Fig. 2(b) and Fig. 4 are produced using a total of 4 antennas,
+#: yet the latter offers significantly higher resolution."
+PAPER = {
+    "combined_beats_standard_array": True,
+}
+
+
+def run(
+    source_angle_deg: float = 75.0,
+    wide_separation_wl: float = 8.0,
+    filter_separation_wl: float = 0.5,
+    wavelength: float = DEFAULT_WAVELENGTH,
+    grid: int = 32001,
+) -> ExperimentResult:
+    """Combine a λ/2 pair's beam with an 8λ pair's lobes, vs a 4-el array.
+
+    Args:
+        source_angle_deg: true source direction (spatial angle from the
+            array axis).
+        wide_separation_wl: the high-resolution pair's separation (λ).
+        filter_separation_wl: the filter pair's separation (λ).
+        wavelength: carrier wavelength.
+        grid: angular grid resolution.
+    """
+    result = ExperimentResult(
+        "fig04",
+        "Multi-resolution filter: λ/2 beam removes 8λ ambiguity, "
+        "keeps its resolution",
+    )
+    theta = np.linspace(0.0, np.pi, grid)
+    source = np.radians(source_angle_deg)
+    two_pi = 2.0 * np.pi
+
+    def measured_phase(separation: float) -> float:
+        # Far-field phase difference a pair measures for this direction.
+        return float(
+            np.mod(two_pi * separation * np.cos(source) / wavelength, two_pi)
+        )
+
+    wide_sep = wide_separation_wl * wavelength
+    filt_sep = filter_separation_wl * wavelength
+    wide = pair_beam_pattern(theta, wide_sep, wavelength, measured_phase(wide_sep))
+    filt = pair_beam_pattern(theta, filt_sep, wavelength, measured_phase(filt_sep))
+    combined = wide * filt
+
+    # The standard 4-antenna λ/2 array pointed at the same source.
+    positions = (np.arange(4) - 1.5) * (wavelength / 2.0)
+    phases = np.mod(-two_pi * positions * np.cos(source) / wavelength, two_pi)
+    array4 = array_beam_pattern(theta, positions, wavelength, phases)
+
+    width_combined = lobe_width_at(theta, combined, source)
+    width_array4 = lobe_width_at(theta, array4, source)
+    width_wide_alone = lobe_width_at(theta, wide, source)
+
+    # How well did the filter suppress the other grating lobes?
+    in_main = main_lobe_mask(theta, combined)
+    sidelobe_peak = float(combined[~in_main].max()) if (~in_main).any() else 0.0
+
+    result.add_row(
+        pattern="8λ pair alone (Fig. 3c)",
+        antennas=2,
+        lobe_width_deg=float(np.degrees(width_wide_alone)),
+        strongest_sidelobe=1.0,
+    )
+    result.add_row(
+        pattern="λ/2-filtered 8λ pair (Fig. 4)",
+        antennas=4,
+        lobe_width_deg=float(np.degrees(width_combined)),
+        strongest_sidelobe=sidelobe_peak,
+    )
+    result.add_row(
+        pattern="standard 4-antenna λ/2 array (Fig. 2b)",
+        antennas=4,
+        lobe_width_deg=float(np.degrees(width_array4)),
+        strongest_sidelobe=float(
+            array4[~main_lobe_mask(theta, array4)].max()
+        ),
+    )
+    result.add_note(
+        f"same 4 antennas: combined lobe is "
+        f"{width_array4 / max(width_combined, 1e-9):.1f}× narrower than the "
+        "standard array's beam (paper: 'significantly higher resolution')"
+    )
+    return result

@@ -1,0 +1,123 @@
+"""Figure 6 — the two-stage multi-resolution positioning walkthrough.
+
+The paper's Fig. 6 localises a static source with the 8-antenna layout:
+(a) the wide pairs' grating-lobe intersections are many but sparse;
+(b) the two tight pairs' wide beams form a coarse filter;
+(c) the remaining filter-reader pairs refine it;
+(d) overlaying the filter on the intersections leaves the true position.
+
+This experiment counts the surviving candidate regions after each stage
+and reports the final localisation error, in a noise-free free-space
+setting (the figure is conceptual) — demonstrating that ambiguity falls
+stage by stage while resolution is preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.layouts import rfidraw_layout
+from repro.geometry.plane import writing_plane
+from repro.rf.channel import BackscatterChannel, Environment
+from repro.rf.constants import DEFAULT_WAVELENGTH
+from repro.rf.phase import wrap_to_pi
+from repro.core.positioning import MultiResolutionPositioner, PositionerConfig
+from repro.core.voting import total_votes
+from repro.rfid.sampling import PhaseSnapshot
+from repro.experiments.harness import ExperimentResult
+
+__all__ = ["run", "PAPER", "make_snapshot"]
+
+#: The paper's point: intersections (a) are ambiguous; the coarse filter
+#: (b, c) removes the ambiguity; the final fix (d) is correct and sharp.
+PAPER = {
+    "ambiguity_removed_by_filter": True,
+    "final_error_cm": 0.0,  # conceptual figure: exact localisation
+}
+
+
+def make_snapshot(
+    source_uv: tuple[float, float],
+    distance: float = 2.0,
+    wavelength: float = DEFAULT_WAVELENGTH,
+) -> tuple[PhaseSnapshot, "np.ndarray"]:
+    """Noise-free phase snapshot of a static source for the 8-antenna rig."""
+    deployment = rfidraw_layout(wavelength)
+    plane = writing_plane(distance)
+    channel = BackscatterChannel(Environment.free_space(), wavelength)
+    world = plane.to_world(np.asarray(source_uv, dtype=float))
+    pairs = deployment.pairs()
+    delta_phi = np.array(
+        [
+            wrap_to_pi(
+                float(channel.phase_at(pair.second.position, world))
+                - float(channel.phase_at(pair.first.position, world))
+            )
+            for pair in pairs
+        ]
+    )
+    return PhaseSnapshot(pairs, delta_phi), world
+
+
+def run(
+    source_uv: tuple[float, float] = (1.45, 1.25),
+    distance: float = 2.0,
+    wavelength: float = DEFAULT_WAVELENGTH,
+    vote_margin: float = 0.02,
+    cell: float = 0.01,
+) -> ExperimentResult:
+    """Count candidate cells after each voting stage; report final error."""
+    result = ExperimentResult(
+        "fig06",
+        "Two-stage multi-resolution positioning of a static source",
+    )
+    deployment = rfidraw_layout(wavelength)
+    plane = writing_plane(distance)
+    snapshot, world = make_snapshot(source_uv, distance, wavelength)
+    config = PositionerConfig(fine_step=cell)
+    positioner = MultiResolutionPositioner(
+        deployment, plane, wavelength, config=config
+    )
+    unique_beam, other_filter, resolution = positioner.split_pairs(snapshot)
+
+    # Evaluate each stage's vote field on one common fine grid.
+    points, us, vs = plane.grid(config.u_range, config.v_range, 0.02)
+
+    def surviving(indices: list[int]) -> tuple[int, np.ndarray]:
+        pairs = [snapshot.pairs[i] for i in indices]
+        votes = total_votes(
+            pairs, snapshot.delta_phi[indices], points, wavelength, 2.0
+        )
+        mask = votes >= votes.max() - vote_margin
+        return int(mask.sum()), votes
+
+    stage_defs = [
+        ("(a) wide pairs only (grating-lobe intersections)", resolution),
+        ("(b) tight pairs' wide beams", unique_beam),
+        ("(c) all filter-reader pairs", unique_beam + other_filter),
+        ("(d) all pairs combined", unique_beam + other_filter + resolution),
+    ]
+    survivors = {}
+    for label, indices in stage_defs:
+        count, _ = surviving(indices)
+        survivors[label] = count
+        result.add_row(stage=label, surviving_cells=count, pairs_used=len(indices))
+
+    candidate = positioner.locate(snapshot)
+    error = float(np.linalg.norm(candidate.position - np.asarray(source_uv)))
+    result.add_row(
+        stage="final candidate (two-stage algorithm)",
+        surviving_cells=1,
+        pairs_used=len(snapshot.pairs),
+        error_cm=100.0 * error,
+    )
+    result.add_note(
+        f"final localisation error {100 * error:.3f} cm (noise-free; the "
+        "paper's conceptual figure localises exactly)"
+    )
+    result.add_note(
+        "ambiguity shrinks monotonically: "
+        + " → ".join(f"{survivors[label]}" for label, _ in stage_defs)
+        + " surviving cells"
+    )
+    return result

@@ -1,0 +1,73 @@
+"""Experiment result containers and text rendering.
+
+Experiments return structured rows; the harness renders them as aligned
+text tables so every figure of the paper can be regenerated as terminal
+output (and asserted on by the benchmark suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult", "format_result"]
+
+
+@dataclass
+class ExperimentResult:
+    """The regenerated data behind one paper figure.
+
+    Attributes:
+        experiment_id: e.g. ``"fig11"``.
+        title: human-readable description.
+        rows: list of dicts, one per figure series point / table row.
+        notes: free-form observations (paper-vs-measured commentary).
+    """
+
+    experiment_id: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **fields) -> None:
+        self.rows.append(fields)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> list:
+        """All values of one column, in row order."""
+        return [row[name] for row in self.rows if name in row]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0 or 1e-3 <= abs(value) < 1e5:
+            return f"{value:.4g}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+def format_result(result: ExperimentResult) -> str:
+    """Render an :class:`ExperimentResult` as an aligned text table."""
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    if result.rows:
+        columns: list[str] = []
+        for row in result.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        table = [[_cell(row.get(col, "")) for col in columns] for row in result.rows]
+        widths = [
+            max(len(col), *(len(line[index]) for line in table))
+            for index, col in enumerate(columns)
+        ]
+        header = "  ".join(col.ljust(width) for col, width in zip(columns, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * width for width in widths))
+        for line in table:
+            lines.append(
+                "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+            )
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

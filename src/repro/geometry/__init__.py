@@ -1,0 +1,20 @@
+"""Antenna geometry: antennas, pairs, deployments, layouts and planes."""
+
+from repro.geometry.antennas import Antenna, AntennaPair, Deployment
+from repro.geometry.layouts import (
+    aoa_baseline_layout,
+    linear_array,
+    rfidraw_layout,
+)
+from repro.geometry.plane import WritingPlane, writing_plane
+
+__all__ = [
+    "Antenna",
+    "AntennaPair",
+    "Deployment",
+    "aoa_baseline_layout",
+    "linear_array",
+    "rfidraw_layout",
+    "WritingPlane",
+    "writing_plane",
+]

@@ -1,0 +1,199 @@
+"""Antennas, antenna pairs and deployments.
+
+Terminology follows the paper. A *deployment* is the full set of reader
+antennas; an *antenna pair* ``<i, j>`` measures the phase difference
+``Δφ_{j,i} = φ_j − φ_i`` of a tag reply, which constrains the tag to lie on
+hyperbolas of constant path difference ``Δd_{i,j} = d(S, i) − d(S, j)``
+(paper Eq. 2)::
+
+    round_trip · Δd_{i,j} / λ  =  Δφ_{j,i} / 2π  +  k,   k ∈ ℤ
+
+``round_trip`` is 2 for RFID backscatter (footnote 3 of the paper) and 1 for
+a one-way transmitter.
+
+The paper only compares phases of antennas attached to the *same* reader,
+because distinct readers have unknown LO phase offsets (section 3.5). The
+:class:`Deployment` pair enumeration enforces the same rule.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.vectors import as_point, as_points, distances_to
+
+__all__ = ["Antenna", "AntennaPair", "Deployment"]
+
+
+@dataclass(frozen=True)
+class Antenna:
+    """One reader antenna port.
+
+    Attributes:
+        antenna_id: globally unique id (paper numbers them 1..8).
+        position: 3-D mount position in metres (wall plane is ``y = 0``).
+        reader_id: id of the reader this antenna's port belongs to.
+        port: port index on that reader (0..3 for a 4-port reader).
+    """
+
+    antenna_id: int
+    position: np.ndarray
+    reader_id: int = 0
+    port: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "position", as_point(self.position))
+
+    def distance_to(self, points) -> np.ndarray:
+        """Distance from this antenna to one point (scalar) or many (array)."""
+        pts = np.asarray(points, dtype=float)
+        scalar = pts.ndim == 1
+        result = distances_to(self.position, as_points(pts))
+        return float(result[0]) if scalar else result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        x, y, z = self.position
+        return (
+            f"Antenna(id={self.antenna_id}, reader={self.reader_id}, "
+            f"pos=({x:.3f}, {y:.3f}, {z:.3f}))"
+        )
+
+
+@dataclass(frozen=True)
+class AntennaPair:
+    """An ordered pair of antennas ``<first, second>`` on the same reader.
+
+    The pair's measurement convention matches the paper: the phase difference
+    it observes is ``Δφ = φ(second) − φ(first)`` and the path difference it
+    constrains is ``Δd = d(P, first) − d(P, second)``.
+    """
+
+    first: Antenna
+    second: Antenna
+
+    def __post_init__(self) -> None:
+        if self.first.antenna_id == self.second.antenna_id:
+            raise ValueError("an antenna pair needs two distinct antennas")
+        if self.first.reader_id != self.second.reader_id:
+            raise ValueError(
+                "cross-reader antenna pairs are not usable: readers have "
+                "unknown relative LO phase offsets (paper section 3.5)"
+            )
+
+    @property
+    def reader_id(self) -> int:
+        return self.first.reader_id
+
+    @property
+    def ids(self) -> tuple[int, int]:
+        return (self.first.antenna_id, self.second.antenna_id)
+
+    @property
+    def separation(self) -> float:
+        """Physical distance between the two antennas, in metres."""
+        return float(np.linalg.norm(self.first.position - self.second.position))
+
+    @property
+    def midpoint(self) -> np.ndarray:
+        return (self.first.position + self.second.position) / 2.0
+
+    @property
+    def baseline(self) -> np.ndarray:
+        """Unit vector pointing from ``first`` to ``second``."""
+        diff = self.second.position - self.first.position
+        return diff / np.linalg.norm(diff)
+
+    def path_difference(self, points) -> np.ndarray:
+        """``Δd = d(P, first) − d(P, second)`` for one or many points ``P``."""
+        pts = np.asarray(points, dtype=float)
+        scalar = pts.ndim == 1
+        pts = as_points(pts)
+        delta = distances_to(self.first.position, pts) - distances_to(
+            self.second.position, pts
+        )
+        return float(delta[0]) if scalar else delta
+
+    def max_lobe_count(self, wavelength: float, round_trip: float = 2.0) -> int:
+        """Number of integers ``k`` with a feasible direction, ≈ lobe count.
+
+        ``|Δd| ≤ D`` bounds ``k`` to an interval of width
+        ``2 · round_trip · D / λ``; the count of integers inside is the
+        number of grating lobes (paper section 3.2: ``D = K λ/2`` gives
+        ``K`` lobes for one-way operation).
+        """
+        span = 2.0 * round_trip * self.separation / wavelength
+        return int(np.floor(span / 2.0) * 2 + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AntennaPair<{self.first.antenna_id},{self.second.antenna_id}>"
+            f"(reader={self.reader_id}, D={self.separation:.3f} m)"
+        )
+
+
+@dataclass
+class Deployment:
+    """A set of reader antennas with pair-enumeration helpers."""
+
+    antennas: list[Antenna] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        ids = [antenna.antenna_id for antenna in self.antennas]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate antenna ids in deployment: {ids}")
+
+    def __len__(self) -> int:
+        return len(self.antennas)
+
+    def __iter__(self):
+        return iter(self.antennas)
+
+    def antenna(self, antenna_id: int) -> Antenna:
+        for candidate in self.antennas:
+            if candidate.antenna_id == antenna_id:
+                return candidate
+        raise KeyError(f"no antenna with id {antenna_id}")
+
+    @property
+    def reader_ids(self) -> list[int]:
+        seen: list[int] = []
+        for antenna in self.antennas:
+            if antenna.reader_id not in seen:
+                seen.append(antenna.reader_id)
+        return seen
+
+    def antennas_of_reader(self, reader_id: int) -> list[Antenna]:
+        return [a for a in self.antennas if a.reader_id == reader_id]
+
+    def pair(self, first_id: int, second_id: int) -> AntennaPair:
+        return AntennaPair(self.antenna(first_id), self.antenna(second_id))
+
+    def pairs(
+        self,
+        reader_id: int | None = None,
+        min_separation: float = 0.0,
+        max_separation: float = float("inf"),
+    ) -> list[AntennaPair]:
+        """All same-reader pairs, optionally filtered by reader and separation.
+
+        Pairs are ordered by ascending antenna ids, matching the paper's
+        ``<i, j>`` notation (e.g. ``<5, 6>``).
+        """
+        pairs = []
+        for first, second in itertools.combinations(self.antennas, 2):
+            if first.reader_id != second.reader_id:
+                continue
+            if reader_id is not None and first.reader_id != reader_id:
+                continue
+            pair = AntennaPair(first, second)
+            if min_separation <= pair.separation <= max_separation:
+                pairs.append(pair)
+        return pairs
+
+    def bounding_box(self) -> tuple[np.ndarray, np.ndarray]:
+        """Axis-aligned (min, max) corners of the antenna positions."""
+        positions = np.stack([a.position for a in self.antennas])
+        return positions.min(axis=0), positions.max(axis=0)

@@ -1,0 +1,141 @@
+"""Deployment layouts used by the paper's prototype and baseline.
+
+Two layouts are reproduced from section 6 ("Implementation"):
+
+* :func:`rfidraw_layout` — RF-IDraw's 8 antennas on two 4-port readers.
+  Reader 1 drives the four *widely spaced* antennas (ids 1–4) at the corners
+  of an ``8λ × 8λ`` square (8λ ≈ 2.6 m at 922 MHz). Reader 2 drives the four
+  *tightly spaced* antennas (ids 5–8) arranged as two pairs, ``<5,6>``
+  vertical at the left edge midpoint and ``<7,8>`` horizontal at the bottom
+  edge midpoint. Because RFID backscatter doubles the phase-per-metre, the
+  tight pairs are separated by **λ/4** (not λ/2) so each has a single beam.
+
+* :func:`aoa_baseline_layout` — the compared scheme: two uniform linear
+  4-antenna arrays with λ/4 element spacing, one along the left edge of the
+  same square and one along the bottom edge.
+
+All layouts are mounted on the wall plane ``y = 0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.antennas import Antenna, Deployment
+
+__all__ = ["rfidraw_layout", "aoa_baseline_layout", "linear_array"]
+
+#: Reader id used for the widely spaced (corner) antennas.
+WIDE_READER = 1
+#: Reader id used for the tightly spaced (filter) antennas.
+TIGHT_READER = 2
+
+
+def rfidraw_layout(
+    wavelength: float,
+    side_in_wavelengths: float = 8.0,
+    tight_spacing_in_wavelengths: float = 0.25,
+    origin: tuple[float, float] = (0.0, 0.0),
+) -> Deployment:
+    """RF-IDraw's two-reader, 8-antenna deployment (paper Fig. 6(d), §6).
+
+    Args:
+        wavelength: carrier wavelength λ in metres.
+        side_in_wavelengths: square side, in λ (paper: 8λ ≈ 2.6 m).
+        tight_spacing_in_wavelengths: tight pair spacing, in λ (paper: λ/4,
+            the backscatter equivalent of the classic λ/2 no-ambiguity bound).
+        origin: ``(x, z)`` of the square's bottom-left corner on the wall.
+
+    Returns:
+        A :class:`~repro.geometry.antennas.Deployment` with antennas 1–4 on
+        reader 1 (corners, counter-clockwise from bottom-left) and antennas
+        5–8 on reader 2 (tight pairs).
+    """
+    if wavelength <= 0:
+        raise ValueError("wavelength must be positive")
+    side = side_in_wavelengths * wavelength
+    gap = tight_spacing_in_wavelengths * wavelength
+    x0, z0 = origin
+
+    def wall(x: float, z: float) -> np.ndarray:
+        return np.array([x, 0.0, z])
+
+    corners = [
+        Antenna(1, wall(x0, z0), reader_id=WIDE_READER, port=0),
+        Antenna(2, wall(x0 + side, z0), reader_id=WIDE_READER, port=1),
+        Antenna(3, wall(x0 + side, z0 + side), reader_id=WIDE_READER, port=2),
+        Antenna(4, wall(x0, z0 + side), reader_id=WIDE_READER, port=3),
+    ]
+    # Pair <5,6>: vertical, centred on the left edge midpoint.
+    # Pair <7,8>: horizontal, centred on the bottom edge midpoint.
+    tight = [
+        Antenna(5, wall(x0, z0 + side / 2 - gap / 2), reader_id=TIGHT_READER, port=0),
+        Antenna(6, wall(x0, z0 + side / 2 + gap / 2), reader_id=TIGHT_READER, port=1),
+        Antenna(7, wall(x0 + side / 2 - gap / 2, z0), reader_id=TIGHT_READER, port=2),
+        Antenna(8, wall(x0 + side / 2 + gap / 2, z0), reader_id=TIGHT_READER, port=3),
+    ]
+    return Deployment(corners + tight)
+
+
+def linear_array(
+    start_id: int,
+    center: tuple[float, float],
+    direction: tuple[float, float],
+    count: int,
+    spacing: float,
+    reader_id: int,
+) -> list[Antenna]:
+    """A uniform linear array of ``count`` antennas on the wall.
+
+    Args:
+        start_id: antenna id of the first element (ids are consecutive).
+        center: ``(x, z)`` of the array centre on the wall.
+        direction: ``(x, z)`` direction of the array axis (normalised here).
+        count: number of elements.
+        spacing: inter-element spacing in metres.
+        reader_id: reader the elements are attached to.
+    """
+    if count < 2:
+        raise ValueError("a linear array needs at least 2 elements")
+    axis = np.asarray(direction, dtype=float)
+    norm = np.linalg.norm(axis)
+    if norm == 0:
+        raise ValueError("array direction must be non-zero")
+    axis = axis / norm
+    cx, cz = center
+    offsets = (np.arange(count) - (count - 1) / 2.0) * spacing
+    return [
+        Antenna(
+            start_id + index,
+            np.array([cx + offset * axis[0], 0.0, cz + offset * axis[1]]),
+            reader_id=reader_id,
+            port=index,
+        )
+        for index, offset in enumerate(offsets)
+    ]
+
+
+def aoa_baseline_layout(
+    wavelength: float,
+    side_in_wavelengths: float = 8.0,
+    element_spacing_in_wavelengths: float = 0.25,
+    origin: tuple[float, float] = (0.0, 0.0),
+) -> Deployment:
+    """The compared antenna-array scheme's deployment (paper §6).
+
+    Two 4-antenna uniform linear arrays with λ/4 element spacing (again the
+    backscatter equivalent of λ/2): one placed along the left edge of the
+    RF-IDraw square, one along the bottom edge. Each array is one reader.
+    """
+    side = side_in_wavelengths * wavelength
+    spacing = element_spacing_in_wavelengths * wavelength
+    x0, z0 = origin
+    left = linear_array(
+        1, center=(x0, z0 + side / 2), direction=(0.0, 1.0), count=4,
+        spacing=spacing, reader_id=1,
+    )
+    bottom = linear_array(
+        5, center=(x0 + side / 2, z0), direction=(1.0, 0.0), count=4,
+        spacing=spacing, reader_id=2,
+    )
+    return Deployment(left + bottom)

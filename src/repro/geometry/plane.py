@@ -1,0 +1,107 @@
+"""The virtual touch screen plane.
+
+RF-IDraw "can transform any plane or surface into a virtual touch screen".
+This module represents such a plane: a 2-D coordinate frame ``(u, v)``
+embedded in the 3-D room. Reader antennas are mounted on the wall plane
+``y = 0``; the standard writing plane is parallel to the wall at the user's
+distance (2–5 m in the paper's evaluation), with ``u`` along the room's
+``x`` axis and ``v`` along the vertical ``z`` axis — matching the paper's
+figures, which plot trajectories in ``x``/``z`` metres.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.vectors import as_point, unit
+
+__all__ = ["WritingPlane", "writing_plane"]
+
+
+@dataclass(frozen=True)
+class WritingPlane:
+    """A 2-D frame ``origin + u·u_axis + v·v_axis`` embedded in 3-D space."""
+
+    origin: np.ndarray
+    u_axis: np.ndarray
+    v_axis: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "origin", as_point(self.origin))
+        object.__setattr__(self, "u_axis", unit(as_point(self.u_axis)))
+        object.__setattr__(self, "v_axis", unit(as_point(self.v_axis)))
+        if abs(float(np.dot(self.u_axis, self.v_axis))) > 1e-9:
+            raise ValueError("plane axes must be orthogonal")
+
+    @property
+    def normal(self) -> np.ndarray:
+        return np.cross(self.u_axis, self.v_axis)
+
+    def to_world(self, uv) -> np.ndarray:
+        """Map plane coordinates ``(u, v)`` (single or ``(N, 2)``) to 3-D."""
+        coords = np.asarray(uv, dtype=float)
+        scalar = coords.ndim == 1
+        coords = np.atleast_2d(coords)
+        if coords.shape[1] != 2:
+            raise ValueError(f"expected (N, 2) plane coordinates, got {coords.shape}")
+        world = (
+            self.origin
+            + coords[:, 0:1] * self.u_axis
+            + coords[:, 1:2] * self.v_axis
+        )
+        return world[0] if scalar else world
+
+    def to_plane(self, points) -> np.ndarray:
+        """Project 3-D ``points`` into plane coordinates (drops the normal part)."""
+        pts = np.asarray(points, dtype=float)
+        scalar = pts.ndim == 1
+        pts = np.atleast_2d(pts) - self.origin
+        coords = np.stack([pts @ self.u_axis, pts @ self.v_axis], axis=1)
+        return coords[0] if scalar else coords
+
+    def grid(
+        self,
+        u_range: tuple[float, float],
+        v_range: tuple[float, float],
+        step: float,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Regular grid on the plane.
+
+        Returns:
+            ``(points, us, vs)`` where ``points`` is ``(len(vs)·len(us), 3)``
+            in world coordinates ordered row-major over ``(v, u)``, and
+            ``us``/``vs`` are the 1-D axis samples. Reshape a per-point
+            quantity with ``values.reshape(len(vs), len(us))``.
+        """
+        if step <= 0:
+            raise ValueError("grid step must be positive")
+        us = np.arange(u_range[0], u_range[1] + step / 2, step)
+        vs = np.arange(v_range[0], v_range[1] + step / 2, step)
+        uu, vv = np.meshgrid(us, vs)
+        coords = np.stack([uu.ravel(), vv.ravel()], axis=1)
+        return self.to_world(coords), us, vs
+
+    def distance_of(self, points) -> np.ndarray:
+        """Signed normal distance of 3-D points from the plane."""
+        pts = np.atleast_2d(np.asarray(points, dtype=float)) - self.origin
+        out = pts @ self.normal
+        return float(out[0]) if np.asarray(points).ndim == 1 else out
+
+
+def writing_plane(distance: float, x_axis_flip: bool = False) -> WritingPlane:
+    """The standard virtual touch screen: parallel to the wall at ``y = distance``.
+
+    ``u`` runs along the room's ``x`` axis, ``v`` along the vertical ``z``
+    axis, so plane coordinates read directly as the paper's ``x (m)`` /
+    ``z (m)`` plot axes.
+    """
+    if distance <= 0:
+        raise ValueError("the writing plane must be in front of the wall")
+    u_axis = np.array([-1.0, 0.0, 0.0]) if x_axis_flip else np.array([1.0, 0.0, 0.0])
+    return WritingPlane(
+        origin=np.array([0.0, float(distance), 0.0]),
+        u_axis=u_axis,
+        v_axis=np.array([0.0, 0.0, 1.0]),
+    )

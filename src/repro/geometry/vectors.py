@@ -1,0 +1,63 @@
+"""Small vector helpers shared by the geometry modules.
+
+All positions in the library are 3-D ``numpy`` arrays in metres. The wall on
+which reader antennas are mounted is the plane ``y = 0``; the user writes in
+a plane parallel to it (see :mod:`repro.geometry.plane`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "as_point",
+    "as_points",
+    "distances_to",
+    "unit",
+]
+
+
+def as_point(value) -> np.ndarray:
+    """Coerce ``value`` to a float 3-vector.
+
+    2-D inputs ``(x, z)`` are lifted onto the wall plane ``y = 0`` — a
+    convenience for the conceptual, in-plane figures of the paper.
+
+    Raises:
+        ValueError: if ``value`` is not length 2 or 3.
+    """
+    arr = np.asarray(value, dtype=float)
+    if arr.shape == (2,):
+        return np.array([arr[0], 0.0, arr[1]])
+    if arr.shape == (3,):
+        return arr.copy()
+    raise ValueError(f"expected a 2- or 3-vector, got shape {arr.shape}")
+
+
+def as_points(values) -> np.ndarray:
+    """Coerce ``values`` to an ``(N, 3)`` float array (single points allowed)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim == 1:
+        return as_point(arr)[np.newaxis, :]
+    if arr.ndim == 2 and arr.shape[1] == 2:
+        lifted = np.zeros((arr.shape[0], 3))
+        lifted[:, 0] = arr[:, 0]
+        lifted[:, 2] = arr[:, 1]
+        return lifted
+    if arr.ndim == 2 and arr.shape[1] == 3:
+        return arr.astype(float, copy=True)
+    raise ValueError(f"expected (N, 2) or (N, 3) points, got shape {arr.shape}")
+
+
+def distances_to(origin: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Euclidean distances from ``origin`` (3,) to ``points`` (..., 3)."""
+    return np.linalg.norm(np.asarray(points, dtype=float) - origin, axis=-1)
+
+
+def unit(vector: np.ndarray) -> np.ndarray:
+    """Normalise ``vector``; raises on zero-length input."""
+    vector = np.asarray(vector, dtype=float)
+    norm = np.linalg.norm(vector)
+    if norm == 0.0:
+        raise ValueError("cannot normalise a zero vector")
+    return vector / norm

@@ -1,0 +1,74 @@
+"""Dynamic time warping over 2-D point sequences.
+
+The recogniser compares trajectories with DTW — the standard elastic
+matcher for online handwriting — with a Sakoe–Chiba band to keep the
+alignment sane and the cost quadratic-with-small-constant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["dtw_distance"]
+
+
+def dtw_distance(
+    a: np.ndarray,
+    b: np.ndarray,
+    band: int | None = None,
+    early_abandon: float | None = None,
+) -> float:
+    """DTW distance between two ``(N, D)`` sequences.
+
+    Args:
+        a, b: point sequences (rows are points).
+        band: Sakoe–Chiba band half-width in samples; ``None`` means
+            unconstrained. The band is auto-widened to cover any length
+            difference between the sequences.
+        early_abandon: if every cell of a row exceeds this bound the
+            computation stops and ``inf`` is returned — useful when
+            scanning a dictionary for the minimum.
+
+    Returns:
+        The accumulated Euclidean alignment cost, normalised by the
+        alignment path's nominal length ``max(N_a, N_b)`` so values are
+        comparable across sequence lengths.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ValueError("sequences must be (N, D) with matching D")
+    n, m = a.shape[0], b.shape[0]
+    if n == 0 or m == 0:
+        raise ValueError("sequences must be non-empty")
+
+    if band is None:
+        band = max(n, m)
+    band = max(band, abs(n - m) + 1)
+
+    scale = float(max(n, m))
+    bound = np.inf if early_abandon is None else early_abandon * scale
+
+    previous = np.full(m + 1, np.inf)
+    previous[0] = 0.0
+    current = np.empty(m + 1)
+    for i in range(1, n + 1):
+        current.fill(np.inf)
+        j_lo = max(1, i - band)
+        j_hi = min(m, i + band)
+        # Distances from a[i-1] to the band's b points, vectorised.
+        diff = b[j_lo - 1 : j_hi] - a[i - 1]
+        costs = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        row_min = np.inf
+        for offset, j in enumerate(range(j_lo, j_hi + 1)):
+            best_prev = min(
+                previous[j], previous[j - 1], current[j - 1]
+            )
+            value = costs[offset] + best_prev
+            current[j] = value
+            if value < row_min:
+                row_min = value
+        if row_min > bound:
+            return float("inf")
+        previous, current = current, previous
+    return float(previous[m] / scale)

@@ -1,0 +1,303 @@
+"""A monoline stroke font for synthetic air-writing.
+
+Glyphs are defined in a letter-local frame: baseline at ``y = 0``,
+x-height at ``y = 0.5``, ascenders at ``y = 1.0``, descenders reaching
+``y ≈ −0.4``; ``x`` spans ``[0, width]``. Each glyph is an ordered list of
+strokes; in air writing the "pen" never lifts, so consecutive strokes (and
+consecutive letters) are joined by straight transition segments when a
+word trajectory is assembled.
+
+The shapes are deliberately simple print-style letterforms: the evaluation
+does not need typographic beauty, it needs distinct, recognisable shapes
+whose centimetre-scale details stress the trajectory tracer the same way
+real handwriting does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Glyph", "StrokeFont", "default_font"]
+
+
+def _line(*points: tuple[float, float]) -> np.ndarray:
+    """A polyline stroke through explicit points."""
+    return np.asarray(points, dtype=float)
+
+
+def _arc(
+    center: tuple[float, float],
+    radii: tuple[float, float],
+    start_deg: float,
+    end_deg: float,
+    samples: int = 14,
+) -> np.ndarray:
+    """An elliptical arc stroke from ``start_deg`` to ``end_deg``.
+
+    Angles are mathematical degrees (counter-clockwise positive); the
+    sweep may exceed 360° for nearly-closed bowls.
+    """
+    angles = np.radians(np.linspace(start_deg, end_deg, samples))
+    cx, cy = center
+    rx, ry = radii
+    return np.stack([cx + rx * np.cos(angles), cy + ry * np.sin(angles)], axis=1)
+
+
+@dataclass(frozen=True)
+class Glyph:
+    """One character's strokes in the letter-local frame."""
+
+    char: str
+    width: float
+    strokes: tuple[np.ndarray, ...]
+
+    def __post_init__(self) -> None:
+        if not self.strokes:
+            raise ValueError(f"glyph {self.char!r} has no strokes")
+        if self.width <= 0:
+            raise ValueError(f"glyph {self.char!r} has non-positive width")
+
+    def polyline(self) -> np.ndarray:
+        """All strokes joined in writing order into one continuous path."""
+        return np.concatenate(self.strokes, axis=0)
+
+    @property
+    def entry(self) -> np.ndarray:
+        """Where the pen enters the glyph."""
+        return self.strokes[0][0]
+
+    @property
+    def exit(self) -> np.ndarray:
+        """Where the pen leaves the glyph."""
+        return self.strokes[-1][-1]
+
+    def path_length(self) -> float:
+        """Total ink length (including inter-stroke transitions)."""
+        points = self.polyline()
+        return float(np.linalg.norm(np.diff(points, axis=0), axis=1).sum())
+
+
+class StrokeFont:
+    """A collection of glyphs addressable by character."""
+
+    def __init__(self, glyphs: dict[str, Glyph]) -> None:
+        if not glyphs:
+            raise ValueError("a font needs at least one glyph")
+        self._glyphs = dict(glyphs)
+
+    def __contains__(self, char: str) -> bool:
+        return char in self._glyphs
+
+    def __len__(self) -> int:
+        return len(self._glyphs)
+
+    @property
+    def characters(self) -> list[str]:
+        return sorted(self._glyphs)
+
+    def glyph(self, char: str) -> Glyph:
+        try:
+            return self._glyphs[char]
+        except KeyError:
+            raise KeyError(f"font has no glyph for {char!r}") from None
+
+
+def _build_glyphs() -> dict[str, Glyph]:
+    glyphs: dict[str, Glyph] = {}
+
+    def add(char: str, width: float, *strokes: np.ndarray) -> None:
+        glyphs[char] = Glyph(char, width, tuple(strokes))
+
+    # ------------------------------------------------------------- a–z
+    add(
+        "a", 0.58,
+        _arc((0.28, 0.25), (0.21, 0.25), 55, 395),
+        _line((0.49, 0.43), (0.49, 0.05), (0.56, 0.0)),
+    )
+    add(
+        "b", 0.56,
+        _line((0.08, 1.0), (0.08, 0.02)),
+        _arc((0.30, 0.25), (0.22, 0.25), 150, -150),
+    )
+    add("c", 0.52, _arc((0.30, 0.25), (0.24, 0.25), 50, 310))
+    add(
+        "d", 0.58,
+        _arc((0.27, 0.25), (0.21, 0.25), 45, 330),
+        _line((0.50, 1.0), (0.50, 0.05), (0.57, 0.0)),
+    )
+    add(
+        "e", 0.54,
+        _line((0.07, 0.27), (0.48, 0.27)),
+        _arc((0.28, 0.25), (0.22, 0.25), 5, 300),
+    )
+    add(
+        "f", 0.50,
+        _arc((0.42, 0.80), (0.18, 0.20), 90, 180),
+        _line((0.24, 0.80), (0.24, 0.02)),
+        _line((0.06, 0.50), (0.44, 0.50)),
+    )
+    add(
+        "g", 0.58,
+        _arc((0.28, 0.25), (0.21, 0.24), 55, 395),
+        _line((0.49, 0.43), (0.49, -0.18)),
+        _arc((0.27, -0.18), (0.22, 0.20), 0, -150),
+    )
+    add(
+        "h", 0.58,
+        _line((0.08, 1.0), (0.08, 0.02)),
+        _line((0.08, 0.30), (0.08, 0.32)),
+        _arc((0.30, 0.28), (0.22, 0.22), 180, 0),
+        _line((0.52, 0.28), (0.52, 0.02)),
+    )
+    add(
+        "i", 0.22,
+        _line((0.11, 0.50), (0.11, 0.02)),
+        _line((0.11, 0.68), (0.11, 0.74)),
+    )
+    add(
+        "j", 0.40,
+        _line((0.30, 0.50), (0.30, -0.18)),
+        _arc((0.12, -0.18), (0.18, 0.22), 0, -130),
+        _line((0.30, 0.68), (0.30, 0.74)),
+    )
+    add(
+        "k", 0.54,
+        _line((0.08, 1.0), (0.08, 0.02)),
+        _line((0.44, 0.52), (0.09, 0.24)),
+        _line((0.22, 0.34), (0.48, 0.02)),
+    )
+    add("l", 0.26, _line((0.11, 1.0), (0.11, 0.06), (0.19, 0.0)))
+    add(
+        "m", 0.78,
+        _line((0.07, 0.50), (0.07, 0.02)),
+        _line((0.07, 0.30), (0.07, 0.32)),
+        _arc((0.21, 0.28), (0.14, 0.22), 180, 0),
+        _line((0.35, 0.28), (0.35, 0.04)),
+        _line((0.35, 0.30), (0.35, 0.32)),
+        _arc((0.49, 0.28), (0.14, 0.22), 180, 0),
+        _line((0.63, 0.28), (0.63, 0.02)),
+    )
+    add(
+        "n", 0.58,
+        _line((0.08, 0.50), (0.08, 0.02)),
+        _line((0.08, 0.30), (0.08, 0.32)),
+        _arc((0.29, 0.28), (0.21, 0.22), 180, 0),
+        _line((0.50, 0.28), (0.50, 0.02)),
+    )
+    add("o", 0.56, _arc((0.28, 0.25), (0.22, 0.25), 90, 450))
+    add(
+        "p", 0.56,
+        _line((0.08, 0.50), (0.08, -0.40)),
+        _line((0.08, 0.25), (0.08, 0.28)),
+        _arc((0.30, 0.25), (0.22, 0.25), 150, -150),
+    )
+    add(
+        "q", 0.58,
+        _arc((0.28, 0.25), (0.21, 0.25), 55, 395),
+        _line((0.49, 0.43), (0.49, -0.30), (0.58, -0.40)),
+    )
+    add(
+        "r", 0.46,
+        _line((0.08, 0.50), (0.08, 0.02)),
+        _line((0.08, 0.30), (0.08, 0.32)),
+        _arc((0.28, 0.26), (0.20, 0.24), 180, 35),
+    )
+    add(
+        "s", 0.50,
+        _line(
+            (0.44, 0.42),
+            (0.30, 0.50),
+            (0.12, 0.43),
+            (0.11, 0.31),
+            (0.27, 0.26),
+            (0.41, 0.19),
+            (0.40, 0.06),
+            (0.22, 0.0),
+            (0.07, 0.08),
+        ),
+    )
+    add(
+        "t", 0.46,
+        _line((0.22, 0.92), (0.22, 0.08), (0.34, 0.0)),
+        _line((0.04, 0.52), (0.42, 0.52)),
+    )
+    add(
+        "u", 0.58,
+        _line((0.08, 0.50), (0.08, 0.20)),
+        _arc((0.29, 0.20), (0.21, 0.18), 180, 360),
+        _line((0.50, 0.20), (0.50, 0.50)),
+        _line((0.50, 0.50), (0.52, 0.05)),
+    )
+    add("v", 0.50, _line((0.06, 0.50), (0.25, 0.02), (0.44, 0.50)))
+    add(
+        "w", 0.72,
+        _line((0.05, 0.50), (0.18, 0.02), (0.31, 0.42), (0.44, 0.02), (0.57, 0.50)),
+    )
+    add(
+        "x", 0.52,
+        _line((0.06, 0.50), (0.46, 0.02)),
+        _line((0.46, 0.50), (0.06, 0.02)),
+    )
+    add(
+        "y", 0.54,
+        _line((0.06, 0.50), (0.27, 0.06)),
+        _line((0.48, 0.50), (0.30, 0.12), (0.10, -0.38)),
+    )
+    add(
+        "z", 0.52,
+        _line((0.06, 0.50), (0.44, 0.50), (0.06, 0.02), (0.46, 0.02)),
+    )
+
+    # ------------------------------------------------------------- 0–9
+    add("0", 0.52, _arc((0.26, 0.5), (0.20, 0.48), 90, 450))
+    add("1", 0.34, _line((0.08, 0.78), (0.22, 1.0), (0.22, 0.02)))
+    add(
+        "2", 0.52,
+        _arc((0.25, 0.76), (0.19, 0.22), 160, -10),
+        _line((0.40, 0.62), (0.06, 0.02), (0.46, 0.02)),
+    )
+    add(
+        "3", 0.50,
+        _arc((0.24, 0.75), (0.18, 0.23), 150, -60),
+        _arc((0.24, 0.26), (0.20, 0.26), 70, -140),
+    )
+    add(
+        "4", 0.54,
+        _line((0.34, 1.0), (0.06, 0.34), (0.48, 0.34)),
+        _line((0.38, 0.62), (0.38, 0.0)),
+    )
+    add(
+        "5", 0.52,
+        _line((0.44, 1.0), (0.10, 1.0), (0.08, 0.56)),
+        _arc((0.26, 0.30), (0.21, 0.29), 115, -160),
+    )
+    add(
+        "6", 0.52,
+        _arc((0.34, 0.62), (0.26, 0.38), 95, 180),
+        _arc((0.26, 0.22), (0.18, 0.22), 180, 540),
+    )
+    add("7", 0.50, _line((0.06, 1.0), (0.46, 1.0), (0.18, 0.0)))
+    add(
+        "8", 0.52,
+        _arc((0.26, 0.74), (0.17, 0.22), 90, 450),
+        _arc((0.26, 0.26), (0.20, 0.26), 90, -270),
+    )
+    add(
+        "9", 0.52,
+        _arc((0.27, 0.70), (0.19, 0.26), 0, 360),
+        _line((0.46, 0.70), (0.42, 0.02)),
+    )
+    return glyphs
+
+
+_DEFAULT_FONT: StrokeFont | None = None
+
+
+def default_font() -> StrokeFont:
+    """The library's built-in font (cached singleton)."""
+    global _DEFAULT_FONT
+    if _DEFAULT_FONT is None:
+        _DEFAULT_FONT = StrokeFont(_build_glyphs())
+    return _DEFAULT_FONT

@@ -1,0 +1,230 @@
+"""Template-DTW character and word recognition (the MyScript substitute).
+
+The paper's recognition results are a *proxy for trajectory shape
+fidelity*: a coherently stretched reconstruction is still recognised, a
+scattered one is not. A template DTW recogniser has exactly that property
+and a well-defined chance floor (1/26 ≈ 3.8 % for characters — compare the
+paper's "< 4 %, equivalent to a random guess" for the baseline).
+
+Characters are matched against per-letter templates rendered from the same
+stroke font with a handful of slant/aspect variants. Words are matched
+against trajectories synthesised on demand for dictionary candidates,
+pre-filtered by cheap shape features so only a shortlist pays for DTW.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.handwriting.corpus import CORPUS
+from repro.handwriting.dtw import dtw_distance
+from repro.handwriting.font import StrokeFont, default_font
+from repro.handwriting.generator import (
+    HandwritingGenerator,
+    UserStyle,
+    resample_polyline,
+)
+
+__all__ = ["normalize_trajectory", "CharacterRecognizer", "WordRecognizer"]
+
+
+def normalize_trajectory(
+    points: np.ndarray, count: int = 64, deslant: bool = False
+) -> np.ndarray:
+    """Resample + translate + height-normalise a trajectory for matching.
+
+    The trajectory is resampled to ``count`` equally spaced points, its
+    centroid moved to the origin, and its scale divided by its bounding
+    height (aspect ratio is preserved — it is a discriminative feature).
+    With ``deslant=True`` the writer's slant is removed first by shearing
+    away the regression of x on y — standard online-handwriting
+    preprocessing, important for matching styled words against neutral
+    templates.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("expected an (N, 2) trajectory")
+    if points.shape[0] < 2:
+        raise ValueError("need at least two points")
+    resampled = resample_polyline(points, count)
+    resampled = resampled - resampled.mean(axis=0)
+    if deslant:
+        y_var = float(np.dot(resampled[:, 1], resampled[:, 1]))
+        if y_var > 1e-12:
+            slope = float(np.dot(resampled[:, 0], resampled[:, 1])) / y_var
+            # Only correct plausible writing slants, not arbitrary shears.
+            slope = float(np.clip(slope, -0.35, 0.35))
+            resampled[:, 0] -= slope * resampled[:, 1]
+            resampled[:, 0] -= resampled[:, 0].mean()
+    height = resampled[:, 1].max() - resampled[:, 1].min()
+    if height < 1e-9:
+        height = resampled[:, 0].max() - resampled[:, 0].min()
+    if height < 1e-9:
+        height = 1.0
+    return resampled / height
+
+
+@dataclass(frozen=True)
+class _Template:
+    label: str
+    points: np.ndarray
+    path_ratio: float
+    aspect: float
+
+
+def _shape_features(normalized: np.ndarray) -> tuple[float, float]:
+    """(ink length / height, width / height) of a normalised trajectory."""
+    length = float(np.linalg.norm(np.diff(normalized, axis=0), axis=1).sum())
+    width = float(normalized[:, 0].max() - normalized[:, 0].min())
+    return length, width
+
+
+class CharacterRecognizer:
+    """Nearest-template DTW classifier over single characters."""
+
+    #: Style variants every template letter is rendered with.
+    _VARIANTS = (
+        UserStyle.neutral(),
+        UserStyle(slant=0.12, smoothing=2),
+        UserStyle(slant=-0.08, smoothing=2),
+        UserStyle(aspect=1.12, smoothing=3),
+    )
+
+    def __init__(
+        self,
+        font: StrokeFont | None = None,
+        characters: str | None = None,
+        resample: int = 64,
+        band: int = 10,
+    ) -> None:
+        self.font = font or default_font()
+        self.resample = resample
+        self.band = band
+        chars = characters or "abcdefghijklmnopqrstuvwxyz"
+        self._templates: list[_Template] = []
+        for char in chars:
+            for style in self._VARIANTS:
+                generator = HandwritingGenerator(style=style, font=self.font)
+                trace = generator.letter_trace(char)
+                normalized = normalize_trajectory(trace.points, self.resample)
+                length, width = _shape_features(normalized)
+                self._templates.append(
+                    _Template(char, normalized, length, width)
+                )
+
+    @property
+    def labels(self) -> list[str]:
+        return sorted({template.label for template in self._templates})
+
+    def scores(self, points: np.ndarray) -> dict[str, float]:
+        """Best DTW distance per character label (lower is better).
+
+        Labels whose every template was early-abandoned report ``inf`` —
+        they are certainly worse than the current best.
+        """
+        query = normalize_trajectory(points, self.resample)
+        best: dict[str, float] = {
+            template.label: np.inf for template in self._templates
+        }
+        bound = np.inf
+        for template in self._templates:
+            distance = dtw_distance(
+                query, template.points, band=self.band, early_abandon=bound * 4
+            )
+            if distance < best[template.label]:
+                best[template.label] = distance
+                bound = min(bound, distance)
+        return best
+
+    def classify(self, points: np.ndarray) -> str:
+        """The most likely character for a trajectory segment."""
+        scores = self.scores(points)
+        return min(scores, key=scores.get)
+
+
+class WordRecognizer:
+    """Dictionary-constrained word recognition via synthesised templates.
+
+    Args:
+        dictionary: candidate words (default: the embedded corpus).
+        font: stroke font for template synthesis.
+        resample: points per normalised trajectory.
+        band: DTW band half-width.
+        shortlist: how many feature-nearest candidates get a DTW pass.
+    """
+
+    def __init__(
+        self,
+        dictionary: tuple[str, ...] | list[str] | None = None,
+        font: StrokeFont | None = None,
+        resample: int = 128,
+        band: int = 16,
+        shortlist: int = 110,
+    ) -> None:
+        self.font = font or default_font()
+        self.resample = resample
+        self.band = band
+        self.shortlist = shortlist
+        self.dictionary = tuple(dictionary if dictionary is not None else CORPUS)
+        if not self.dictionary:
+            raise ValueError("the dictionary is empty")
+        self._generator = HandwritingGenerator(
+            style=UserStyle.neutral(), font=self.font
+        )
+        self._templates: dict[str, _Template] = {}
+
+    def _template(self, word: str) -> _Template:
+        cached = self._templates.get(word)
+        if cached is not None:
+            return cached
+        trace = self._generator.word_trace(word)
+        normalized = normalize_trajectory(trace.points, self.resample, deslant=True)
+        length, width = _shape_features(normalized)
+        template = _Template(word, normalized, length, width)
+        self._templates[word] = template
+        return template
+
+    def _template_matrix(self) -> np.ndarray:
+        """Stacked normalised templates for the vectorised pre-filter."""
+        if getattr(self, "_matrix", None) is None:
+            stack = [self._template(word).points for word in self.dictionary]
+            self._matrix = np.stack(stack)  # (W, resample, 2)
+        return self._matrix
+
+    def shortlist_for(self, query: np.ndarray) -> list[str]:
+        """Dictionary candidates ranked by linear-alignment distance.
+
+        The pre-filter compares the query against every template point by
+        point after the shared resample/normalise step — no warping, but
+        fully vectorised over the whole dictionary. DTW then re-ranks only
+        the shortlist. Linear alignment is a (loose) lower-quality bound on
+        DTW similarity that keeps the true word in the shortlist reliably.
+        """
+        matrix = self._template_matrix()
+        gaps = np.sqrt(((matrix - query) ** 2).sum(axis=2)).mean(axis=1)
+        order = np.argsort(gaps)[: self.shortlist]
+        return [self.dictionary[int(index)] for index in order]
+
+    def scores(self, points: np.ndarray) -> dict[str, float]:
+        """DTW distance for the shortlisted dictionary candidates."""
+        query = normalize_trajectory(points, self.resample, deslant=True)
+        results: dict[str, float] = {}
+        bound = np.inf
+        for word in self.shortlist_for(query):
+            template = self._template(word)
+            distance = dtw_distance(
+                query,
+                template.points,
+                band=self.band,
+                early_abandon=bound * 3,
+            )
+            results[word] = distance
+            bound = min(bound, distance)
+        return results
+
+    def classify(self, points: np.ndarray) -> str:
+        """The most likely dictionary word for a whole-word trajectory."""
+        scores = self.scores(points)
+        return min(scores, key=scores.get)

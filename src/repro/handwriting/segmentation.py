@@ -1,0 +1,186 @@
+"""Automatic writing segmentation (the paper's stated future work).
+
+Section 9.3: "A limitation of our current implementation … is that we
+manually segment the user's writing into words. We believe this can be
+addressed by using standard segmentation methods" — implemented here:
+
+* :func:`segment_words` splits a continuous trajectory stream into words
+  using the writer's pauses and inter-word spatial jumps (a user lifts /
+  re-positions the hand between words);
+* :func:`segment_letters` splits a single word's trajectory at the
+  velocity minima + x-advance boundaries that separate letters, the
+  classic online-handwriting heuristic.
+
+Both operate purely on reconstructed ``(times, points)`` streams, so they
+run on RF-IDraw output with no access to ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Segment", "segment_words", "segment_letters"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous chunk of a trajectory stream."""
+
+    start_index: int
+    end_index: int  # exclusive
+    start_time: float
+    end_time: float
+
+    def slice(self, array: np.ndarray) -> np.ndarray:
+        return array[self.start_index : self.end_index]
+
+    @property
+    def sample_count(self) -> int:
+        return self.end_index - self.start_index
+
+
+def _speeds(times: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Instantaneous speed per inter-sample gap."""
+    dt = np.diff(times)
+    dt[dt <= 0] = 1e-9
+    return np.linalg.norm(np.diff(points, axis=0), axis=1) / dt
+
+
+def segment_words(
+    times: np.ndarray,
+    points: np.ndarray,
+    pause_duration: float = 0.5,
+    pause_speed: float = 0.03,
+    min_word_duration: float = 0.4,
+) -> list[Segment]:
+    """Split a continuous writing stream into word segments.
+
+    A word boundary is a sustained near-stationary interval (the hand
+    hovering between words) of at least ``pause_duration`` seconds below
+    ``pause_speed`` m/s.
+
+    Args:
+        times: ``(N,)`` sample times.
+        points: ``(N, 2)`` positions.
+        pause_duration: minimum hover time that separates words.
+        pause_speed: speed threshold that counts as hovering.
+        min_word_duration: segments shorter than this are discarded
+            (reconstruction noise twitching during a pause).
+    """
+    times = np.asarray(times, dtype=float)
+    points = np.asarray(points, dtype=float)
+    if times.shape[0] != points.shape[0]:
+        raise ValueError("times and points must align")
+    if times.shape[0] < 3:
+        return []
+
+    moving = _speeds(times, points) > pause_speed
+    segments: list[Segment] = []
+    index = 0
+    n = moving.size
+    while index < n:
+        if not moving[index]:
+            index += 1
+            continue
+        start = index
+        last_motion = index
+        index += 1
+        while index < n:
+            if moving[index]:
+                last_motion = index
+                index += 1
+                continue
+            # Pause: does it last long enough to end the word?
+            pause_end = index
+            while pause_end < n and not moving[pause_end]:
+                pause_end += 1
+            if (
+                pause_end >= n
+                or times[pause_end] - times[last_motion + 1] >= pause_duration
+            ):
+                break
+            index = pause_end
+        end = last_motion + 2  # inclusive sample after the last moving gap
+        if times[min(end, n) - 1] - times[start] >= min_word_duration:
+            segments.append(
+                Segment(start, min(end, times.size),
+                        float(times[start]), float(times[min(end, n) - 1]))
+            )
+        index += 1
+    return segments
+
+
+def segment_letters(
+    times: np.ndarray,
+    points: np.ndarray,
+    expected_letters: int | None = None,
+    smoothing: int = 5,
+) -> list[Segment]:
+    """Split one word's trajectory into letter segments.
+
+    Letters are separated at local minima of the writing speed that
+    coincide with rightward x-advances (the inter-letter transition
+    strokes). With ``expected_letters`` given, exactly the strongest
+    ``expected_letters − 1`` boundaries are kept — the mode used when a
+    dictionary hypothesis fixes the letter count.
+
+    Returns:
+        Letter segments in writing order.
+    """
+    times = np.asarray(times, dtype=float)
+    points = np.asarray(points, dtype=float)
+    if times.shape[0] != points.shape[0]:
+        raise ValueError("times and points must align")
+    n = times.shape[0]
+    if n < 6:
+        return [Segment(0, n, float(times[0]), float(times[-1]))]
+
+    speeds = _speeds(times, points)
+    kernel = np.ones(max(1, smoothing)) / max(1, smoothing)
+    smooth = np.convolve(speeds, kernel, mode="same")
+
+    # Local minima of smoothed speed, excluding the stream's ends.
+    minima = [
+        i
+        for i in range(2, smooth.size - 2)
+        if smooth[i] <= smooth[i - 1] and smooth[i] <= smooth[i + 1]
+    ]
+    if not minima:
+        return [Segment(0, n, float(times[0]), float(times[-1]))]
+
+    # Score boundaries: deep minima during rightward motion win.
+    width = points[:, 0].max() - points[:, 0].min()
+    scores = []
+    for i in minima:
+        rightward = points[min(i + 2, n - 1), 0] - points[max(i - 2, 0), 0]
+        depth = 1.0 / (smooth[i] + 1e-6)
+        scores.append(depth * max(rightward / max(width, 1e-6), 0.0))
+    order = np.argsort(scores)[::-1]
+
+    if expected_letters is not None and expected_letters >= 1:
+        keep = min(expected_letters - 1, len(minima))
+    else:
+        # Unsupervised: keep boundaries clearly stronger than the median.
+        threshold = 3.0 * np.median(scores) if scores else np.inf
+        keep = int(sum(score > threshold for score in scores))
+
+    # Greedy non-max suppression: walk the ranked minima, accepting each
+    # boundary that keeps a minimum letter extent from those accepted.
+    min_gap = max(3, n // (2 * (keep + 1)) if keep else 3)
+    filtered: list[int] = []
+    for rank in order:
+        if len(filtered) >= keep:
+            break
+        boundary = minima[int(rank)]
+        if all(abs(boundary - other) >= min_gap for other in filtered):
+            filtered.append(boundary)
+    filtered.sort()
+
+    edges = [0] + [b + 1 for b in filtered] + [n]
+    return [
+        Segment(lo, hi, float(times[lo]), float(times[hi - 1]))
+        for lo, hi in zip(edges[:-1], edges[1:])
+        if hi - lo >= 2
+    ]

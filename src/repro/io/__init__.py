@@ -1,0 +1,25 @@
+"""Record/replay: persist phase logs and trajectories to disk.
+
+A real deployment records its reader output so sessions can be replayed
+through new algorithm versions. This subpackage round-trips the two
+interchange formats:
+
+* **JSONL phase logs** — one reader report per line, the natural dump of
+  a live reader loop (:func:`save_phase_log` / :func:`load_phase_log`);
+* **CSV trajectories** — reconstructed or ground-truth paths
+  (:func:`save_trajectory` / :func:`load_trajectory`).
+"""
+
+from repro.io.logs import (
+    load_phase_log,
+    load_trajectory,
+    save_phase_log,
+    save_trajectory,
+)
+
+__all__ = [
+    "load_phase_log",
+    "load_trajectory",
+    "save_phase_log",
+    "save_trajectory",
+]

@@ -1,0 +1,106 @@
+"""JSONL phase logs and CSV trajectories."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.rfid.reader import PhaseReport
+from repro.rfid.sampling import MeasurementLog
+
+__all__ = [
+    "save_phase_log",
+    "load_phase_log",
+    "save_trajectory",
+    "load_trajectory",
+]
+
+_REPORT_FIELDS = ("time", "epc_hex", "reader_id", "antenna_id", "phase",
+                  "rssi_dbm")
+
+
+def save_phase_log(log: MeasurementLog, path) -> int:
+    """Write a measurement log as JSON Lines; returns the record count.
+
+    Each line is one reader report::
+
+        {"time": 0.0132, "epc_hex": "30…", "reader_id": 1,
+         "antenna_id": 3, "phase": 4.2031, "rssi_dbm": -57.2}
+    """
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for report in log.reports:
+            record = {field: getattr(report, field) for field in _REPORT_FIELDS}
+            handle.write(json.dumps(record) + "\n")
+    return len(log.reports)
+
+
+def load_phase_log(path) -> MeasurementLog:
+    """Read a JSONL phase log back into a :class:`MeasurementLog`."""
+    path = Path(path)
+    reports = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                reports.append(
+                    PhaseReport(
+                        time=float(record["time"]),
+                        epc_hex=str(record["epc_hex"]),
+                        reader_id=int(record["reader_id"]),
+                        antenna_id=int(record["antenna_id"]),
+                        phase=float(record["phase"]),
+                        rssi_dbm=float(record["rssi_dbm"]),
+                    )
+                )
+            except (KeyError, ValueError, json.JSONDecodeError) as error:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed phase record: {error}"
+                ) from error
+    return MeasurementLog(reports)
+
+
+def save_trajectory(times: np.ndarray, points: np.ndarray, path) -> None:
+    """Write a trajectory as CSV with a ``time,u,v`` header."""
+    times = np.asarray(times, dtype=float)
+    points = np.asarray(points, dtype=float)
+    if times.shape[0] != points.shape[0]:
+        raise ValueError("times and points must align")
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must be (N, 2)")
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time", "u", "v"])
+        for t, (u, v) in zip(times, points):
+            writer.writerow([f"{t:.6f}", f"{u:.6f}", f"{v:.6f}"])
+
+
+def load_trajectory(path) -> tuple[np.ndarray, np.ndarray]:
+    """Read a ``time,u,v`` CSV back as ``(times, points)``."""
+    path = Path(path)
+    times, us, vs = [], [], []
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames != ["time", "u", "v"]:
+            raise ValueError(
+                f"{path}: expected header time,u,v; got {reader.fieldnames}"
+            )
+        for row_number, row in enumerate(reader, start=2):
+            try:
+                times.append(float(row["time"]))
+                us.append(float(row["u"]))
+                vs.append(float(row["v"]))
+            except (TypeError, ValueError) as error:
+                raise ValueError(
+                    f"{path}:{row_number}: malformed trajectory row: {error}"
+                ) from error
+    if not times:
+        return np.empty(0), np.empty((0, 2))
+    return np.asarray(times), np.stack([us, vs], axis=1)

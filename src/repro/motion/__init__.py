@@ -1,0 +1,13 @@
+"""Ground-truth capture and scripted gestures."""
+
+from repro.motion.vicon import GroundTruthTrace, ViconCapture
+from repro.motion.gestures import circle, square, swipe, zigzag
+
+__all__ = [
+    "GroundTruthTrace",
+    "ViconCapture",
+    "circle",
+    "square",
+    "swipe",
+    "zigzag",
+]

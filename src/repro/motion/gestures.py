@@ -1,0 +1,103 @@
+"""Scripted gesture trajectories (for examples and microbenchmarks).
+
+Beyond handwriting, a virtual touch screen needs swipes, scrolls and
+shape gestures; these generators produce time-parametrised versions of
+the common ones, in plane coordinates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.handwriting.generator import resample_polyline
+
+__all__ = ["circle", "square", "swipe", "zigzag"]
+
+
+def _parametrise(
+    points: np.ndarray, speed: float, sample_rate: float, start_time: float
+) -> tuple[np.ndarray, np.ndarray]:
+    length = float(np.linalg.norm(np.diff(points, axis=0), axis=1).sum())
+    duration = max(length / speed, 2.0 / sample_rate)
+    count = max(int(np.ceil(duration * sample_rate)) + 1, 2)
+    resampled = resample_polyline(points, count)
+    times = start_time + np.linspace(0.0, duration, count)
+    return times, resampled
+
+
+def circle(
+    center: tuple[float, float],
+    radius: float,
+    speed: float = 0.25,
+    sample_rate: float = 200.0,
+    start_time: float = 0.0,
+    turns: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A circular gesture; returns ``(times, points)``."""
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    angles = np.linspace(0.0, 2.0 * np.pi * turns, max(int(96 * turns), 8))
+    points = np.stack(
+        [
+            center[0] + radius * np.cos(angles),
+            center[1] + radius * np.sin(angles),
+        ],
+        axis=1,
+    )
+    return _parametrise(points, speed, sample_rate, start_time)
+
+
+def square(
+    center: tuple[float, float],
+    side: float,
+    speed: float = 0.25,
+    sample_rate: float = 200.0,
+    start_time: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A square traced counter-clockwise from the bottom-left corner."""
+    if side <= 0:
+        raise ValueError("side must be positive")
+    half = side / 2.0
+    cx, cy = center
+    corners = np.array(
+        [
+            [cx - half, cy - half],
+            [cx + half, cy - half],
+            [cx + half, cy + half],
+            [cx - half, cy + half],
+            [cx - half, cy - half],
+        ]
+    )
+    return _parametrise(corners, speed, sample_rate, start_time)
+
+
+def swipe(
+    start: tuple[float, float],
+    end: tuple[float, float],
+    speed: float = 0.5,
+    sample_rate: float = 200.0,
+    start_time: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A straight swipe — the canonical touch-screen gesture."""
+    points = np.array([start, end], dtype=float)
+    if np.allclose(points[0], points[1]):
+        raise ValueError("swipe endpoints coincide")
+    return _parametrise(points, speed, sample_rate, start_time)
+
+
+def zigzag(
+    start: tuple[float, float],
+    width: float,
+    height: float,
+    cycles: int = 3,
+    speed: float = 0.3,
+    sample_rate: float = 200.0,
+    start_time: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A zigzag (scroll-scrub) gesture with sharp direction reversals."""
+    if cycles < 1:
+        raise ValueError("need at least one cycle")
+    xs = np.linspace(0.0, width, 2 * cycles + 1)
+    ys = np.tile([0.0, height], cycles + 1)[: 2 * cycles + 1]
+    points = np.stack([start[0] + xs, start[1] + ys], axis=1)
+    return _parametrise(points, speed, sample_rate, start_time)

@@ -1,0 +1,57 @@
+"""RF substrate: phase arithmetic, beams/grating lobes, channel and noise."""
+
+from repro.rf.constants import (
+    DEFAULT_FREQUENCY_HZ,
+    DEFAULT_WAVELENGTH,
+    SPEED_OF_LIGHT,
+    wavelength_of,
+)
+from repro.rf.phase import (
+    cycle_residual,
+    phase_from_distance,
+    unwrap_series,
+    wrap_to_half_cycle,
+    wrap_to_pi,
+    wrap_to_two_pi,
+)
+from repro.rf.beams import (
+    array_beam_pattern,
+    cos_theta_solutions,
+    count_grating_lobes,
+    grating_lobe_angles,
+    half_power_beamwidth,
+    lobe_width_at,
+    pair_beam_pattern,
+    pair_vote_pattern,
+    phase_noise_sensitivity,
+)
+from repro.rf.noise import PhaseNoiseModel
+from repro.rf.multipath import PointScatterer, WallReflector
+from repro.rf.channel import BackscatterChannel, Environment
+
+__all__ = [
+    "DEFAULT_FREQUENCY_HZ",
+    "DEFAULT_WAVELENGTH",
+    "SPEED_OF_LIGHT",
+    "wavelength_of",
+    "cycle_residual",
+    "phase_from_distance",
+    "unwrap_series",
+    "wrap_to_half_cycle",
+    "wrap_to_pi",
+    "wrap_to_two_pi",
+    "array_beam_pattern",
+    "cos_theta_solutions",
+    "count_grating_lobes",
+    "grating_lobe_angles",
+    "half_power_beamwidth",
+    "lobe_width_at",
+    "pair_beam_pattern",
+    "pair_vote_pattern",
+    "phase_noise_sensitivity",
+    "PhaseNoiseModel",
+    "PointScatterer",
+    "WallReflector",
+    "BackscatterChannel",
+    "Environment",
+]

@@ -1,0 +1,42 @@
+"""Physical constants and the prototype's operating point.
+
+The paper's prototype queries EPC Gen2 tags at a carrier frequency of
+922 MHz (section 6), giving a wavelength of ≈ 32.5 cm; the square side of
+8λ is then ≈ 2.6 m, matching the paper's quoted deployment size.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SPEED_OF_LIGHT",
+    "DEFAULT_FREQUENCY_HZ",
+    "DEFAULT_WAVELENGTH",
+    "BACKSCATTER_ROUND_TRIP",
+    "ONE_WAY",
+    "wavelength_of",
+]
+
+#: Speed of light in vacuum, m/s.
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: The prototype's carrier frequency (paper section 6).
+DEFAULT_FREQUENCY_HZ = 922e6
+
+
+def wavelength_of(frequency_hz: float) -> float:
+    """Wavelength in metres of a carrier at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+#: Wavelength at the prototype's 922 MHz carrier (≈ 0.325 m).
+DEFAULT_WAVELENGTH = wavelength_of(DEFAULT_FREQUENCY_HZ)
+
+#: Phase-per-distance multiplier for RFID backscatter: the reader measures
+#: the *round trip* reader → tag → reader, doubling the phase accumulated
+#: per metre of one-way distance (paper footnote 3).
+BACKSCATTER_ROUND_TRIP = 2.0
+
+#: Multiplier for an ordinary one-way transmitter (paper Eq. 1 as written).
+ONE_WAY = 1.0

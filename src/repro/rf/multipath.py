@@ -1,0 +1,93 @@
+"""Multipath primitives: point scatterers and image-method wall reflections.
+
+The paper's measured errors are attributed to "random wireless noise and the
+multipath effect" (footnote 4) and NLOS performance is dominated by the
+attenuated direct path plus reflections (section 8.1). These classes model
+a secondary propagation path from an antenna to the tag:
+
+* :class:`PointScatterer` — energy re-radiated by a small object: the path
+  antenna → scatterer → tag.
+* :class:`WallReflector` — specular reflection off a large flat surface,
+  via the image method: the path length equals the straight distance from
+  the antenna's mirror image to the tag.
+
+Each path contributes ``gain · exp(−j·2π·L/λ) / L`` to the one-way complex
+channel, where ``L`` is the path length (see
+:class:`repro.rf.channel.BackscatterChannel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.vectors import as_point, unit
+
+__all__ = ["PointScatterer", "WallReflector"]
+
+
+@dataclass(frozen=True)
+class PointScatterer:
+    """A small re-radiating object at a fixed position.
+
+    Attributes:
+        position: 3-D location of the scatterer.
+        gain: amplitude scale of the scattered path relative to free space
+            (dimensionless; values ≪ 1 are typical).
+    """
+
+    position: np.ndarray
+    gain: float = 0.1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "position", as_point(self.position))
+        if self.gain < 0:
+            raise ValueError("scatterer gain must be non-negative")
+
+    def path_length(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Length of the bounced path a → scatterer → b."""
+        return float(
+            np.linalg.norm(self.position - a) + np.linalg.norm(b - self.position)
+        )
+
+
+@dataclass(frozen=True)
+class WallReflector:
+    """A large flat reflector (wall, floor, cubicle separator).
+
+    Attributes:
+        point: any point on the wall plane.
+        normal: the plane's unit normal.
+        reflectivity: amplitude reflection coefficient in [0, 1].
+    """
+
+    point: np.ndarray
+    normal: np.ndarray
+    reflectivity: float = 0.3
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "point", as_point(self.point))
+        object.__setattr__(self, "normal", unit(as_point(self.normal)))
+        if not 0.0 <= self.reflectivity <= 1.0:
+            raise ValueError("reflectivity must be within [0, 1]")
+
+    def mirror(self, position: np.ndarray) -> np.ndarray:
+        """Mirror image of ``position`` across the wall plane."""
+        position = np.asarray(position, dtype=float)
+        offset = float(np.dot(position - self.point, self.normal))
+        return position - 2.0 * offset * self.normal
+
+    def path_length(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Length of the specular path a → wall → b (image method)."""
+        return float(np.linalg.norm(b - self.mirror(a)))
+
+    def same_side(self, a: np.ndarray, b: np.ndarray) -> bool:
+        """True when both points face the same side of the wall.
+
+        A specular bounce only exists when source and destination are on
+        the same side of the reflecting surface.
+        """
+        sa = float(np.dot(np.asarray(a, dtype=float) - self.point, self.normal))
+        sb = float(np.dot(np.asarray(b, dtype=float) - self.point, self.normal))
+        return sa * sb > 0.0

@@ -1,0 +1,122 @@
+"""Phase arithmetic: wrapping, unwrapping and Eq. 2 residuals.
+
+The paper's positioning hinges on one identity (Eq. 1/2 with the
+backscatter factor of footnote 3)::
+
+    φ = −(2π/λ) · round_trip · d   (mod 2π)
+    round_trip · Δd / λ = Δφ / 2π + k,    k ∈ ℤ
+
+All helpers here are vectorised over numpy arrays and preserve scalars.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "wrap_to_pi",
+    "wrap_to_two_pi",
+    "wrap_to_half_cycle",
+    "phase_from_distance",
+    "cycle_residual",
+    "unwrap_series",
+    "interpolate_phase",
+]
+
+_TWO_PI = 2.0 * np.pi
+
+
+def wrap_to_pi(phase):
+    """Wrap angle(s) to ``(−π, π]``."""
+    wrapped = np.mod(np.asarray(phase, dtype=float) + np.pi, _TWO_PI) - np.pi
+    # np.mod maps exact multiples of 2π to −π; prefer +π for the half-open
+    # interval (−π, π].
+    wrapped = np.where(wrapped == -np.pi, np.pi, wrapped)
+    return float(wrapped) if np.isscalar(phase) else wrapped
+
+
+def wrap_to_two_pi(phase):
+    """Wrap angle(s) to ``[0, 2π)`` — the reader's reporting convention."""
+    wrapped = np.mod(np.asarray(phase, dtype=float), _TWO_PI)
+    return float(wrapped) if np.isscalar(phase) else wrapped
+
+
+def wrap_to_half_cycle(cycles):
+    """Wrap a quantity measured in *cycles* to ``[−0.5, 0.5)``.
+
+    This is the ``min_k ‖x − k‖`` of the paper's Eq. 7: the distance (in
+    cycles) from ``x`` to the nearest integer, with sign.
+    """
+    wrapped = np.mod(np.asarray(cycles, dtype=float) + 0.5, 1.0) - 0.5
+    return float(wrapped) if np.isscalar(cycles) else wrapped
+
+
+def phase_from_distance(distance, wavelength: float, round_trip: float = 2.0):
+    """Received phase for a propagation distance, per paper Eq. 1.
+
+    ``φ = −mod(2π · round_trip · d / λ, 2π)`` … reported in ``[0, 2π)``
+    like a commercial reader does, i.e. the negated modulo re-wrapped.
+    """
+    if wavelength <= 0:
+        raise ValueError("wavelength must be positive")
+    raw = -_TWO_PI * round_trip * np.asarray(distance, dtype=float) / wavelength
+    return wrap_to_two_pi(raw)
+
+
+def cycle_residual(
+    path_difference,
+    phase_difference,
+    wavelength: float,
+    round_trip: float = 2.0,
+    k: int | None = None,
+):
+    """Residual of Eq. 2 in cycles: ``round_trip·Δd/λ − Δφ/2π − k``.
+
+    With ``k=None`` the residual is wrapped to the nearest integer (the
+    minimisation over ``k`` in Eq. 7); with an explicit ``k`` it is the
+    lobe-locked residual used by the trajectory tracer.
+    """
+    raw = (
+        round_trip * np.asarray(path_difference, dtype=float) / wavelength
+        - np.asarray(phase_difference, dtype=float) / _TWO_PI
+    )
+    if k is None:
+        return wrap_to_half_cycle(raw)
+    result = raw - float(k)
+    return float(result) if np.isscalar(path_difference) else result
+
+
+def unwrap_series(phases: np.ndarray, period: float = _TWO_PI) -> np.ndarray:
+    """Unwrap a 1-D phase time series, tolerating NaN gaps.
+
+    ``numpy.unwrap`` propagates NaNs into everything after the first gap;
+    dropped RFID reads produce exactly such gaps. This version unwraps the
+    finite samples only and leaves NaNs in place.
+    """
+    phases = np.asarray(phases, dtype=float)
+    if phases.ndim != 1:
+        raise ValueError("unwrap_series expects a 1-D series")
+    result = phases.copy()
+    finite = np.flatnonzero(np.isfinite(phases))
+    if finite.size >= 2:
+        result[finite] = np.unwrap(phases[finite], period=period)
+    return result
+
+
+def interpolate_phase(
+    sample_times: np.ndarray,
+    times: np.ndarray,
+    unwrapped: np.ndarray,
+) -> np.ndarray:
+    """Linearly interpolate an *unwrapped* phase series onto ``sample_times``.
+
+    Samples outside the observed span are clamped to the edge values
+    (a tag that stopped replying is assumed to have stopped moving, the
+    mildest assumption available to a real-time system).
+    """
+    times = np.asarray(times, dtype=float)
+    unwrapped = np.asarray(unwrapped, dtype=float)
+    keep = np.isfinite(unwrapped)
+    if keep.sum() < 2:
+        raise ValueError("need at least two finite phase samples to interpolate")
+    return np.interp(sample_times, times[keep], unwrapped[keep])

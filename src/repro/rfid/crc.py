@@ -1,0 +1,73 @@
+"""CRC-5 and CRC-16 as specified by EPCglobal Class-1 Generation-2.
+
+The Gen2 air protocol protects Query commands with a CRC-5 (polynomial
+x⁵ + x³ + 1, preset 0b01001) and tag replies / EPC memory with the CRC-16
+"CCITT" variant (polynomial 0x1021, preset 0xFFFF, final inversion).
+
+These are bit-accurate implementations over explicit bit sequences, so the
+protocol simulator can corrupt bits and watch CRCs catch (or miss) it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["crc5", "crc16", "crc16_bytes", "bits_from_int", "int_from_bits"]
+
+_CRC5_POLY = 0b01001  # x^5 + x^3 + 1, per Gen2 Annex F
+_CRC5_PRESET = 0b01001
+_CRC16_POLY = 0x1021
+_CRC16_PRESET = 0xFFFF
+
+
+def bits_from_int(value: int, width: int) -> list[int]:
+    """Big-endian (MSB-first) bit list of ``value`` in ``width`` bits."""
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> shift) & 1 for shift in range(width - 1, -1, -1)]
+
+
+def int_from_bits(bits: Sequence[int]) -> int:
+    """Integer from an MSB-first bit sequence."""
+    result = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got {bit!r}")
+        result = (result << 1) | bit
+    return result
+
+
+def crc5(bits: Iterable[int]) -> int:
+    """CRC-5 over a bit sequence (MSB first), per Gen2 Annex F."""
+    register = _CRC5_PRESET
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got {bit!r}")
+        top = (register >> 4) & 1
+        register = (register << 1) & 0b11111
+        if top ^ bit:
+            register ^= _CRC5_POLY
+    return register
+
+
+def crc16(bits: Iterable[int]) -> int:
+    """CRC-16 over a bit sequence (MSB first), preset 0xFFFF, inverted."""
+    register = _CRC16_PRESET
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got {bit!r}")
+        top = (register >> 15) & 1
+        register = (register << 1) & 0xFFFF
+        if top ^ bit:
+            register ^= _CRC16_POLY
+    return register ^ 0xFFFF
+
+
+def crc16_bytes(data: bytes) -> int:
+    """CRC-16 over whole bytes (MSB-first within each byte)."""
+    bits: list[int] = []
+    for byte in data:
+        bits.extend(bits_from_int(byte, 8))
+    return crc16(bits)

@@ -1,0 +1,136 @@
+"""EPC-96 identities (SGTIN-96 layout) for simulated tags.
+
+Every tag in the paper's system is distinguished by its EPC — that is what
+makes the virtual touch screen "easy to scale to a larger number of users
+simultaneously interacting … without causing confusion" (section 2). The
+prototype tags are Alien Squiggle EPC Gen2 inlays carrying 96-bit EPCs.
+
+This module implements the common SGTIN-96 coding scheme: an 8-bit header
+(0x30), 3-bit filter, 3-bit partition, then company prefix / item reference
+split according to the partition table, and a 38-bit serial number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rfid.crc import bits_from_int, crc16, int_from_bits
+
+__all__ = ["Epc96", "SGTIN96_HEADER", "PARTITION_TABLE"]
+
+SGTIN96_HEADER = 0x30
+
+#: SGTIN-96 partition table: partition → (company prefix bits, item ref bits)
+PARTITION_TABLE: dict[int, tuple[int, int]] = {
+    0: (40, 4),
+    1: (37, 7),
+    2: (34, 10),
+    3: (30, 14),
+    4: (27, 17),
+    5: (24, 20),
+    6: (20, 24),
+}
+
+_SERIAL_BITS = 38
+
+
+@dataclass(frozen=True)
+class Epc96:
+    """A 96-bit SGTIN-96 EPC.
+
+    Attributes:
+        filter_value: 3-bit filter (1 = point-of-sale item, the usual value).
+        partition: 3-bit partition selecting the company/item split.
+        company_prefix: GS1 company prefix.
+        item_reference: item reference within the company.
+        serial: 38-bit serial number.
+    """
+
+    filter_value: int = 1
+    partition: int = 5
+    company_prefix: int = 614141
+    item_reference: int = 812345
+    serial: int = 0
+
+    def __post_init__(self) -> None:
+        if self.partition not in PARTITION_TABLE:
+            raise ValueError(f"partition must be 0..6, got {self.partition}")
+        company_bits, item_bits = PARTITION_TABLE[self.partition]
+        if not 0 <= self.filter_value < 8:
+            raise ValueError("filter_value must fit in 3 bits")
+        if not 0 <= self.company_prefix < (1 << company_bits):
+            raise ValueError(
+                f"company_prefix needs ≤ {company_bits} bits for partition "
+                f"{self.partition}"
+            )
+        if not 0 <= self.item_reference < (1 << item_bits):
+            raise ValueError(
+                f"item_reference needs ≤ {item_bits} bits for partition "
+                f"{self.partition}"
+            )
+        if not 0 <= self.serial < (1 << _SERIAL_BITS):
+            raise ValueError("serial must fit in 38 bits")
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def to_bits(self) -> list[int]:
+        """MSB-first 96-bit encoding."""
+        company_bits, item_bits = PARTITION_TABLE[self.partition]
+        bits: list[int] = []
+        bits += bits_from_int(SGTIN96_HEADER, 8)
+        bits += bits_from_int(self.filter_value, 3)
+        bits += bits_from_int(self.partition, 3)
+        bits += bits_from_int(self.company_prefix, company_bits)
+        bits += bits_from_int(self.item_reference, item_bits)
+        bits += bits_from_int(self.serial, _SERIAL_BITS)
+        assert len(bits) == 96
+        return bits
+
+    def to_int(self) -> int:
+        return int_from_bits(self.to_bits())
+
+    def to_hex(self) -> str:
+        """24-hex-digit EPC string, the way readers print it."""
+        return f"{self.to_int():024X}"
+
+    def crc(self) -> int:
+        """CRC-16 of the EPC bits, as appended to the tag's EPC reply."""
+        return crc16(self.to_bits())
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bits(cls, bits) -> "Epc96":
+        bits = list(bits)
+        if len(bits) != 96:
+            raise ValueError(f"EPC-96 must be 96 bits, got {len(bits)}")
+        header = int_from_bits(bits[0:8])
+        if header != SGTIN96_HEADER:
+            raise ValueError(f"not an SGTIN-96 EPC (header {header:#04x})")
+        filter_value = int_from_bits(bits[8:11])
+        partition = int_from_bits(bits[11:14])
+        if partition not in PARTITION_TABLE:
+            raise ValueError(f"invalid partition {partition}")
+        company_bits, item_bits = PARTITION_TABLE[partition]
+        offset = 14
+        company = int_from_bits(bits[offset : offset + company_bits])
+        offset += company_bits
+        item = int_from_bits(bits[offset : offset + item_bits])
+        offset += item_bits
+        serial = int_from_bits(bits[offset : offset + _SERIAL_BITS])
+        return cls(filter_value, partition, company, item, serial)
+
+    @classmethod
+    def from_hex(cls, text: str) -> "Epc96":
+        value = int(text, 16)
+        return cls.from_bits(bits_from_int(value, 96))
+
+    @classmethod
+    def with_serial(cls, serial: int) -> "Epc96":
+        """Convenience: default identity fields, distinct serial."""
+        return cls(serial=serial)
+
+    def __str__(self) -> str:
+        return self.to_hex()

@@ -1,0 +1,33 @@
+"""RF-IDraw on WiFi: the paper's section 9.3 extension, implemented.
+
+"The key idea of using grating lobes in RF-IDraw is transferable to other
+RF systems beyond RFID, such as WiFi and bluetooth. For example, one can
+potentially implement RF-IDraw on WiFi access points to trace the
+trajectories of nearby cellphones, which is one of our ongoing efforts."
+
+The differences from the RFID deployment are exactly two:
+
+* the signal travels **one way** (phone → access point), so every
+  equation uses ``round_trip = 1`` and the classic λ/2 no-ambiguity
+  spacing applies literally;
+* the carrier sits in the 5 GHz band, shrinking λ (and with it the whole
+  antenna constellation) by ≈ 6×.
+
+Everything else — layouts, voting, tracing, candidate selection — is the
+same code as the RFID system, parameterised differently, which is itself
+the demonstration that the idea transfers.
+"""
+
+from repro.wifi.system import (
+    WIFI_5GHZ_FREQUENCY,
+    WifiTracker,
+    wifi_layout,
+    wifi_wavelength,
+)
+
+__all__ = [
+    "WIFI_5GHZ_FREQUENCY",
+    "WifiTracker",
+    "wifi_layout",
+    "wifi_wavelength",
+]

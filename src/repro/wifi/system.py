@@ -1,0 +1,151 @@
+"""WiFi-band RF-IDraw: one-way phases from a phone to AP antenna pairs.
+
+A WiFi station transmits; access-point antenna pairs measure per-packet
+phase differences (as CSI-capable APs expose). With ``round_trip = 1``,
+tightly spaced pairs sit at the classic λ/2 and the widely spaced pairs
+at 8λ — at 5.18 GHz that is a 46 cm square, desk-scale rather than
+wall-scale.
+
+The tracker here reuses :class:`repro.core.pipeline.RFIDrawSystem`
+verbatim; only the deployment, wavelength and round-trip factor change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import ReconstructionResult, RFIDrawSystem
+from repro.core.positioning import PositionerConfig
+from repro.geometry.antennas import Deployment
+from repro.geometry.layouts import rfidraw_layout
+from repro.geometry.plane import WritingPlane, writing_plane
+from repro.rf.channel import BackscatterChannel, Environment
+from repro.rf.constants import wavelength_of
+from repro.rf.noise import PhaseNoiseModel
+from repro.rfid.sampling import PairSeries
+
+__all__ = [
+    "WIFI_5GHZ_FREQUENCY",
+    "wifi_wavelength",
+    "wifi_layout",
+    "WifiTracker",
+]
+
+#: Channel 36 centre frequency, a common 5 GHz operating point.
+WIFI_5GHZ_FREQUENCY = 5.18e9
+
+
+def wifi_wavelength(frequency_hz: float = WIFI_5GHZ_FREQUENCY) -> float:
+    """λ at a WiFi carrier (≈ 5.8 cm at channel 36)."""
+    return wavelength_of(frequency_hz)
+
+
+def wifi_layout(
+    frequency_hz: float = WIFI_5GHZ_FREQUENCY,
+    side_in_wavelengths: float = 8.0,
+    origin: tuple[float, float] = (0.0, 0.0),
+) -> Deployment:
+    """The RF-IDraw constellation scaled to the WiFi band.
+
+    One-way operation restores the paper's written spacings: tight pairs
+    at **λ/2** (not λ/4). The 8λ square is ≈ 46 cm on a side at 5.18 GHz —
+    small enough to build into a single AP faceplate.
+    """
+    return rfidraw_layout(
+        wavelength_of(frequency_hz),
+        side_in_wavelengths=side_in_wavelengths,
+        tight_spacing_in_wavelengths=0.5,
+        origin=origin,
+    )
+
+
+@dataclass
+class WifiTracker:
+    """Traces a WiFi transmitter with the unchanged RF-IDraw core.
+
+    Attributes:
+        frequency_hz: carrier frequency.
+        plane_distance: distance of the tracking plane from the AP wall.
+        environment: propagation environment (default free space).
+        phase_noise: per-packet phase noise model (CSI phase is noisier
+            than reader-grade RFID phase; default σ reflects that).
+    """
+
+    frequency_hz: float = WIFI_5GHZ_FREQUENCY
+    plane_distance: float = 1.5
+    environment: Environment | None = None
+    phase_noise: PhaseNoiseModel | None = None
+
+    def __post_init__(self) -> None:
+        self.wavelength = wavelength_of(self.frequency_hz)
+        self.deployment = wifi_layout(self.frequency_hz)
+        self.plane: WritingPlane = writing_plane(self.plane_distance)
+        self.environment = self.environment or Environment.free_space()
+        self.phase_noise = self.phase_noise or PhaseNoiseModel(
+            sigma=0.2, quantization=0.0
+        )
+        # One-way channel: reuse the backscatter machinery with the
+        # round-trip response replaced by the one-way response.
+        self._channel = BackscatterChannel(self.environment, self.wavelength)
+        region = 8.5 * self.wavelength
+        config = PositionerConfig(
+            u_range=(-0.15, region),
+            v_range=(-0.15, region),
+            coarse_step=0.01,
+            fine_step=0.0025,
+            min_candidate_separation=0.04,
+        )
+        self.system = RFIDrawSystem(
+            self.deployment,
+            self.plane,
+            self.wavelength,
+            round_trip=1.0,
+            positioner_config=config,
+        )
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        trajectory_uv: np.ndarray,
+        times: np.ndarray,
+        rng: np.random.Generator,
+        packet_rate: float = 100.0,
+    ) -> list[PairSeries]:
+        """Simulate per-packet phase measurements of a moving transmitter.
+
+        Each packet yields one phase per AP antenna (CSI gives all chains
+        simultaneously, unlike the RFID reader's port multiplexing).
+        """
+        trajectory_uv = np.asarray(trajectory_uv, dtype=float)
+        times = np.asarray(times, dtype=float)
+        packet_count = max(2, int((times[-1] - times[0]) * packet_rate))
+        packet_times = np.linspace(times[0], times[-1], packet_count)
+        u = np.interp(packet_times, times, trajectory_uv[:, 0])
+        v = np.interp(packet_times, times, trajectory_uv[:, 1])
+        world = self.plane.to_world(np.stack([u, v], axis=1))
+
+        # One-way unwrapped phase per antenna (+ per-packet noise), then
+        # pair differences — the CSI pipeline equivalent of sampling.py.
+        per_antenna: dict[int, np.ndarray] = {}
+        for antenna in self.deployment:
+            distances = antenna.distance_to(world)
+            clean = -2.0 * np.pi * distances / self.wavelength
+            noisy = clean + rng.normal(
+                0.0, self.phase_noise.sigma, size=clean.shape
+            )
+            per_antenna[antenna.antenna_id] = noisy
+
+        series = []
+        for pair in self.deployment.pairs():
+            delta = (
+                per_antenna[pair.second.antenna_id]
+                - per_antenna[pair.first.antenna_id]
+            )
+            series.append(PairSeries(pair, packet_times, delta))
+        return series
+
+    def reconstruct(self, series: list[PairSeries]) -> ReconstructionResult:
+        """Run the unchanged multi-resolution + tracing pipeline."""
+        return self.system.reconstruct(series)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.layouts import aoa_baseline_layout, rfidraw_layout
+from repro.geometry.plane import writing_plane
+from repro.rf.channel import BackscatterChannel, Environment
+from repro.rf.constants import DEFAULT_WAVELENGTH
+
+
+@pytest.fixture
+def wavelength():
+    return DEFAULT_WAVELENGTH
+
+
+@pytest.fixture
+def deployment(wavelength):
+    """The paper's 8-antenna RF-IDraw layout."""
+    return rfidraw_layout(wavelength)
+
+
+@pytest.fixture
+def baseline_deployment(wavelength):
+    return aoa_baseline_layout(wavelength)
+
+
+@pytest.fixture
+def plane():
+    """Writing plane 2 m in front of the antenna wall."""
+    return writing_plane(2.0)
+
+
+@pytest.fixture
+def free_channel(wavelength):
+    """Single-path free-space backscatter channel."""
+    return BackscatterChannel(Environment.free_space(), wavelength)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,143 @@
+"""Unit and property tests for metrics, CDFs and shape similarity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.analysis.metrics import (
+    initial_position_error,
+    point_errors,
+    remove_initial_offset,
+    remove_mean_offset,
+    trajectory_error_baseline,
+    trajectory_error_rfidraw,
+)
+from repro.analysis.shape import hausdorff_distance, procrustes_disparity
+
+
+def wiggle(n=50, seed=0):
+    t = np.linspace(0, 2 * np.pi, n)
+    rng = np.random.default_rng(seed)
+    return np.stack([np.cos(t), np.sin(2 * t)], axis=1) + rng.normal(
+        0, 0.01, (n, 2)
+    )
+
+
+class TestOffsets:
+    def test_initial_offset_removal_anchors_start(self):
+        truth = wiggle()
+        shifted = truth + np.array([0.3, -0.2])
+        aligned = remove_initial_offset(shifted, truth)
+        assert np.allclose(aligned[0], truth[0])
+        assert np.allclose(point_errors(aligned, truth), 0.0, atol=1e-12)
+
+    def test_mean_offset_removal_zeroes_mean_difference(self):
+        truth = wiggle()
+        shifted = truth + np.array([0.1, 0.4])
+        aligned = remove_mean_offset(shifted, truth)
+        assert np.allclose((aligned - truth).mean(axis=0), 0.0, atol=1e-12)
+
+    def test_rfidraw_metric_forgives_pure_offset(self):
+        truth = wiggle()
+        errors = trajectory_error_rfidraw(truth + np.array([1.0, 2.0]), truth)
+        assert np.allclose(errors, 0.0, atol=1e-9)
+
+    def test_baseline_metric_forgives_dc_but_not_scatter(self, rng):
+        truth = wiggle()
+        scattered = truth + rng.normal(0, 0.3, truth.shape)
+        errors = trajectory_error_baseline(scattered, truth)
+        assert np.median(errors) > 0.1
+
+    def test_initial_position_error(self):
+        truth = wiggle()
+        recon = truth + np.array([0.3, 0.4])
+        assert initial_position_error(recon, truth) == pytest.approx(0.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            point_errors(np.zeros((3, 2)), np.zeros((4, 2)))
+
+
+class TestEmpiricalCdf:
+    def test_median_and_percentiles(self):
+        cdf = EmpiricalCdf(np.arange(1, 101, dtype=float))
+        assert cdf.median == pytest.approx(50.5)
+        assert cdf.percentile(90) == pytest.approx(90.1, abs=0.5)
+
+    def test_evaluate_monotone(self):
+        cdf = EmpiricalCdf(np.random.default_rng(0).normal(size=500))
+        xs = np.linspace(-3, 3, 50)
+        values = cdf.evaluate(xs)
+        assert np.all(np.diff(values) >= 0)
+        assert values[0] >= 0.0 and values[-1] <= 1.0
+
+    def test_curve_shape(self):
+        cdf = EmpiricalCdf([1.0, 2.0, 3.0])
+        xs, ys = cdf.curve(10)
+        assert xs.shape == ys.shape == (10,)
+
+    def test_drops_nonfinite(self):
+        cdf = EmpiricalCdf([1.0, np.nan, 2.0, np.inf])
+        assert len(cdf) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf([np.nan])
+
+    def test_summary_keys(self):
+        summary = EmpiricalCdf([1.0, 2.0]).summary()
+        assert set(summary) == {"median", "p90", "mean", "count"}
+
+    @given(
+        arrays(
+            dtype=float,
+            shape=st.integers(1, 60),
+            elements=st.floats(
+                min_value=-1e6, max_value=1e6, allow_nan=False
+            ),
+        )
+    )
+    @settings(max_examples=60)
+    def test_percentiles_ordered(self, samples):
+        cdf = EmpiricalCdf(samples)
+        assert cdf.percentile(10) <= cdf.median <= cdf.percentile(90)
+
+
+class TestShape:
+    def test_procrustes_zero_for_translated_scaled_copy(self):
+        a = wiggle()
+        b = 3.0 * a + np.array([5.0, -2.0])
+        assert procrustes_disparity(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_procrustes_positive_for_different_shapes(self):
+        a = wiggle(seed=1)
+        b = wiggle(seed=2)[::-1]
+        assert procrustes_disparity(a, b) > 1e-4
+
+    def test_procrustes_symmetry(self):
+        a, b = wiggle(seed=3), wiggle(seed=4)
+        assert procrustes_disparity(a, b) == pytest.approx(
+            procrustes_disparity(b, a)
+        )
+
+    def test_hausdorff_zero_for_identical(self):
+        a = wiggle()
+        assert hausdorff_distance(a, a) == 0.0
+
+    def test_hausdorff_known_value(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])
+        assert hausdorff_distance(a, b) == pytest.approx(5.0)
+
+    def test_hausdorff_symmetry(self):
+        a, b = wiggle(seed=5), wiggle(seed=6) + 0.5
+        assert hausdorff_distance(a, b) == pytest.approx(
+            hausdorff_distance(b, a)
+        )
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            procrustes_disparity(np.zeros((5, 2)), wiggle()[:5])

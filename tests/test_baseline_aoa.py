@@ -1,0 +1,94 @@
+"""Unit tests for the beam-scan AoA estimator."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.aoa import BeamScanAoA
+from repro.geometry.antennas import Antenna
+from repro.rf.phase import phase_from_distance
+
+
+def make_array(wavelength, count=4, spacing_wl=0.25):
+    spacing = spacing_wl * wavelength
+    return [
+        Antenna(i + 1, [0.0, 0.0, (i - (count - 1) / 2) * spacing], reader_id=1)
+        for i in range(count)
+    ]
+
+
+def phases_for(antennas, source, wavelength):
+    return np.array(
+        [
+            phase_from_distance(
+                np.linalg.norm(source - antenna.position), wavelength, 2.0
+            )
+            for antenna in antennas
+        ]
+    )
+
+
+class TestBeamScanAoA:
+    def test_recovers_known_angle(self, wavelength):
+        antennas = make_array(wavelength)
+        estimator = BeamScanAoA(antennas, wavelength)
+        # Far-field source at a known angle from the array axis (+z).
+        for true_cos in (-0.5, 0.0, 0.3, 0.7):
+            direction = np.array(
+                [np.sqrt(1 - true_cos**2), 0.0, true_cos]
+            )
+            source = 50.0 * direction  # far field
+            phases = phases_for(antennas, source, wavelength)
+            estimate = estimator.estimate_cos_theta(phases)
+            assert estimate == pytest.approx(true_cos, abs=0.01)
+
+    def test_angle_wrapper(self, wavelength):
+        antennas = make_array(wavelength)
+        estimator = BeamScanAoA(antennas, wavelength)
+        source = np.array([30.0, 0.0, 0.0])  # broadside ⇒ θ = π/2
+        phases = phases_for(antennas, source, wavelength)
+        assert estimator.estimate_angle(phases) == pytest.approx(
+            np.pi / 2, abs=0.02
+        )
+
+    def test_steered_power_peak_location(self, wavelength):
+        antennas = make_array(wavelength)
+        estimator = BeamScanAoA(antennas, wavelength)
+        source = 40.0 * np.array([0.8, 0.0, 0.6])
+        phases = phases_for(antennas, source, wavelength)
+        cos_grid = np.linspace(-1, 1, 1001)
+        power = estimator.steered_power(phases, cos_grid)
+        assert cos_grid[np.argmax(power)] == pytest.approx(0.6, abs=0.01)
+
+    def test_robust_to_common_phase_offset(self, wavelength):
+        # A per-reader LO offset is common to all elements and must not
+        # change the estimate.
+        antennas = make_array(wavelength)
+        estimator = BeamScanAoA(antennas, wavelength)
+        source = 40.0 * np.array([0.6, 0.0, 0.8])
+        phases = phases_for(antennas, source, wavelength)
+        shifted = (phases + 1.234) % (2 * np.pi)
+        assert estimator.estimate_cos_theta(phases) == pytest.approx(
+            estimator.estimate_cos_theta(shifted), abs=1e-6
+        )
+
+    def test_validation(self, wavelength):
+        with pytest.raises(ValueError):
+            BeamScanAoA([make_array(wavelength)[0]], wavelength)
+        colocated = [
+            Antenna(1, [0, 0, 0], reader_id=1),
+            Antenna(2, [0, 0, 0], reader_id=1),
+        ]
+        with pytest.raises(ValueError):
+            BeamScanAoA(colocated, wavelength)
+        bent = [
+            Antenna(1, [0, 0, 0], reader_id=1),
+            Antenna(2, [0, 0, 0.1], reader_id=1),
+            Antenna(3, [0.05, 0, 0.2], reader_id=1),
+        ]
+        with pytest.raises(ValueError, match="collinear"):
+            BeamScanAoA(bent, wavelength)
+
+    def test_phase_count_validated(self, wavelength):
+        estimator = BeamScanAoA(make_array(wavelength), wavelength)
+        with pytest.raises(ValueError):
+            estimator.steered_power(np.zeros(3), np.linspace(-1, 1, 10))

@@ -1,0 +1,103 @@
+"""Unit tests for the two-array beam-intersection tracker."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.aoa import BeamScanAoA
+from repro.baseline.tracker import ArrayIntersectionTracker
+from repro.rf.phase import phase_from_distance
+
+
+@pytest.fixture
+def arrays(baseline_deployment, wavelength):
+    return [
+        BeamScanAoA(
+            baseline_deployment.antennas_of_reader(reader_id), wavelength
+        )
+        for reader_id in (1, 2)
+    ]
+
+
+@pytest.fixture
+def tracker(arrays, plane):
+    return ArrayIntersectionTracker(arrays, plane, grid_step=0.02)
+
+
+def phases_for(antennas, world, wavelength):
+    return np.array(
+        [
+            phase_from_distance(
+                np.linalg.norm(world - a.position), wavelength, 2.0
+            )
+            for a in antennas
+        ]
+    )
+
+
+class TestLocate:
+    def test_noiseless_fix_reasonable(
+        self, tracker, arrays, baseline_deployment, plane, wavelength
+    ):
+        # Even noise-free, a 4-element λ/4 array at 2 m has limited
+        # resolution; a few-dm fix is the realistic expectation — this is
+        # the baseline's fundamental handicap the paper exploits.
+        truth_uv = np.array([1.4, 1.3])
+        world = plane.to_world(truth_uv)
+        phases = [
+            phases_for(
+                baseline_deployment.antennas_of_reader(reader_id),
+                world,
+                wavelength,
+            )
+            for reader_id in (1, 2)
+        ]
+        fix = tracker.locate(phases)
+        assert np.linalg.norm(fix - truth_uv) < 0.35
+
+    def test_validates_stream_count(self, tracker):
+        with pytest.raises(ValueError):
+            tracker.locate([np.zeros(4)])
+
+
+class TestTrack:
+    def test_per_step_independent(self, tracker, baseline_deployment, plane,
+                                  wavelength):
+        # Two steps with identical phases give identical fixes — no state.
+        world = plane.to_world(np.array([1.2, 1.1]))
+        phases = [
+            np.tile(
+                phases_for(
+                    baseline_deployment.antennas_of_reader(reader_id),
+                    world,
+                    wavelength,
+                ),
+                (3, 1),
+            )
+            for reader_id in (1, 2)
+        ]
+        track = tracker.track(phases)
+        assert np.allclose(track[0], track[1])
+        assert np.allclose(track[1], track[2])
+
+    def test_shape(self, tracker, baseline_deployment, plane, wavelength):
+        world = plane.to_world(np.array([1.2, 1.1]))
+        phases = [
+            np.tile(
+                phases_for(
+                    baseline_deployment.antennas_of_reader(reader_id),
+                    world,
+                    wavelength,
+                ),
+                (5, 1),
+            )
+            for reader_id in (1, 2)
+        ]
+        assert tracker.track(phases).shape == (5, 2)
+
+    def test_mismatched_timelines_rejected(self, tracker):
+        with pytest.raises(ValueError, match="timeline"):
+            tracker.track([np.zeros((3, 4)), np.zeros((4, 4))])
+
+    def test_validation(self, arrays, plane):
+        with pytest.raises(ValueError):
+            ArrayIntersectionTracker(arrays[:1], plane)

@@ -1,0 +1,82 @@
+"""Unit tests for the end-to-end RFIDrawSystem pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import RFIDrawSystem
+
+from tests.helpers import ideal_pair_series
+
+
+def letter_like_uv(steps=80):
+    """A wiggly letter-scale trajectory."""
+    t = np.linspace(0, 2 * np.pi, steps)
+    return np.stack(
+        [1.2 + 0.06 * np.cos(3 * t) + 0.02 * t, 1.1 + 0.07 * np.sin(2 * t)],
+        axis=1,
+    )
+
+
+@pytest.fixture
+def system(deployment, plane, wavelength):
+    return RFIDrawSystem(deployment, plane, wavelength)
+
+
+class TestReconstruct:
+    def test_ideal_input_exact(self, system, deployment, plane, wavelength):
+        uv = letter_like_uv()
+        times = np.linspace(0, 4, uv.shape[0])
+        series = ideal_pair_series(deployment, plane, uv, times, wavelength)
+        result = system.reconstruct(series)
+        errors = np.linalg.norm(result.trajectory - uv, axis=1)
+        assert np.median(errors) < 1e-4
+        assert result.chosen_index == int(
+            np.argmax([t.total_vote for t in result.traces])
+        )
+
+    def test_candidates_and_traces_align(
+        self, system, deployment, plane, wavelength
+    ):
+        uv = letter_like_uv()
+        times = np.linspace(0, 4, uv.shape[0])
+        series = ideal_pair_series(deployment, plane, uv, times, wavelength)
+        result = system.reconstruct(series, candidate_count=3)
+        assert len(result.candidates) == len(result.traces)
+        assert len(result.candidates) <= 3
+
+    def test_times_match_series(self, system, deployment, plane, wavelength):
+        uv = letter_like_uv()
+        times = np.linspace(0, 4, uv.shape[0])
+        series = ideal_pair_series(deployment, plane, uv, times, wavelength)
+        result = system.reconstruct(series)
+        assert np.allclose(result.times, times)
+
+    def test_initial_position_property(
+        self, system, deployment, plane, wavelength
+    ):
+        uv = letter_like_uv()
+        times = np.linspace(0, 4, uv.shape[0])
+        series = ideal_pair_series(deployment, plane, uv, times, wavelength)
+        result = system.reconstruct(series)
+        assert np.allclose(result.initial_position, result.trajectory[0])
+
+    def test_noisy_input_still_chooses_good_candidate(
+        self, system, deployment, plane, wavelength, rng
+    ):
+        uv = letter_like_uv()
+        times = np.linspace(0, 4, uv.shape[0])
+        series = ideal_pair_series(deployment, plane, uv, times, wavelength)
+        for entry in series:
+            entry.delta_phi += rng.normal(0, 0.08, size=entry.delta_phi.shape)
+        result = system.reconstruct(series)
+        errors = np.linalg.norm(result.trajectory - uv, axis=1)
+        assert np.median(errors) < 0.05
+
+
+class TestLocate:
+    def test_static_fix(self, system, deployment, plane, wavelength):
+        uv = np.tile(np.array([1.4, 1.3]), (10, 1))
+        times = np.linspace(0, 1, 10)
+        series = ideal_pair_series(deployment, plane, uv, times, wavelength)
+        fix = system.locate(series)
+        assert np.linalg.norm(fix.position - uv[0]) < 1e-3

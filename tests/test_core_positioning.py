@@ -1,0 +1,102 @@
+"""Unit tests for the two-stage multi-resolution positioner."""
+
+import numpy as np
+import pytest
+
+from repro.core.positioning import (
+    MultiResolutionPositioner,
+    PositionCandidate,
+    PositionerConfig,
+)
+
+from tests.helpers import ideal_snapshot
+
+
+@pytest.fixture
+def positioner(deployment, plane, wavelength):
+    return MultiResolutionPositioner(deployment, plane, wavelength)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PositionerConfig(coarse_step=0.0)
+        with pytest.raises(ValueError):
+            PositionerConfig(fine_step=0.1, coarse_step=0.05)
+        with pytest.raises(ValueError):
+            PositionerConfig(candidate_count=0)
+
+
+class TestSplitPairs:
+    def test_partition(self, positioner, deployment, plane, wavelength):
+        snap = ideal_snapshot(deployment, plane, [1.0, 1.0], wavelength)
+        unique_beam, other_filter, resolution = positioner.split_pairs(snap)
+        assert len(unique_beam) == 2  # <5,6> and <7,8>
+        assert len(other_filter) == 4  # cross pairs of reader 2
+        assert len(resolution) == 6  # reader 1's pairs
+        ids = {snap.pairs[i].ids for i in unique_beam}
+        assert ids == {(5, 6), (7, 8)}
+
+
+class TestCandidates:
+    def test_exact_fix_in_free_space(self, positioner, deployment, plane, wavelength):
+        truth = np.array([1.35, 1.22])
+        snap = ideal_snapshot(deployment, plane, truth, wavelength)
+        best = positioner.locate(snap)
+        assert np.linalg.norm(best.position - truth) < 1e-3
+        assert best.vote == pytest.approx(0.0, abs=1e-6)
+
+    def test_secondary_candidates_are_lobe_intersections(
+        self, positioner, deployment, plane, wavelength
+    ):
+        truth = np.array([1.35, 1.22])
+        snap = ideal_snapshot(deployment, plane, truth, wavelength)
+        candidates = positioner.candidates(snap, count=4)
+        assert len(candidates) >= 2
+        # Sorted by vote: the true position wins.
+        assert candidates[0].vote >= candidates[-1].vote
+        # Others sit at nearby intersections, not random junk.
+        for candidate in candidates[1:]:
+            distance = np.linalg.norm(candidate.position - truth)
+            assert 0.1 < distance < 1.0
+
+    def test_count_respected(self, positioner, deployment, plane, wavelength):
+        snap = ideal_snapshot(deployment, plane, [1.0, 1.4], wavelength)
+        assert len(positioner.candidates(snap, count=2)) <= 2
+
+    def test_works_across_the_plane(self, positioner, deployment, plane, wavelength):
+        for truth in ([0.5, 0.8], [2.0, 1.8], [1.0, 2.2]):
+            snap = ideal_snapshot(deployment, plane, truth, wavelength)
+            best = positioner.locate(snap)
+            assert np.linalg.norm(best.position - np.asarray(truth)) < 5e-3
+
+    def test_robust_to_moderate_phase_noise(
+        self, positioner, deployment, plane, wavelength, rng
+    ):
+        truth = np.array([1.35, 1.22])
+        snap = ideal_snapshot(deployment, plane, truth, wavelength)
+        snap.delta_phi += rng.normal(0.0, 0.1, size=snap.delta_phi.shape)
+        best = positioner.locate(snap)
+        assert np.linalg.norm(best.position - truth) < 0.08
+
+    def test_missing_tight_pairs_raises(
+        self, positioner, deployment, plane, wavelength
+    ):
+        snap = ideal_snapshot(deployment, plane, [1.0, 1.0], wavelength)
+        wide_only = snap.subset(deployment.pairs(reader_id=1))
+        with pytest.raises(ValueError, match="coarse filter"):
+            positioner.candidates(wide_only)
+
+    def test_missing_wide_pairs_raises(
+        self, positioner, deployment, plane, wavelength
+    ):
+        snap = ideal_snapshot(deployment, plane, [1.0, 1.0], wavelength)
+        tight_only = snap.subset(deployment.pairs(reader_id=2))
+        with pytest.raises(ValueError, match="widely spaced"):
+            positioner.candidates(tight_only)
+
+
+class TestCandidateDataclass:
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            PositionCandidate(np.zeros(3), 0.0)

@@ -1,0 +1,114 @@
+"""Unit tests for the Eq. 6/7 votes and vote maps."""
+
+import numpy as np
+import pytest
+
+from repro.core.voting import VoteMap, pair_votes, total_votes, vote_map_on_grid
+from repro.rf.phase import wrap_to_pi
+
+from tests.helpers import ideal_snapshot
+
+
+class TestPairVotes:
+    def test_zero_on_true_position(self, deployment, plane, wavelength):
+        truth_uv = np.array([1.2, 1.3])
+        snap = ideal_snapshot(deployment, plane, truth_uv, wavelength)
+        world = plane.to_world(truth_uv)[np.newaxis, :]
+        for pair, phi in zip(snap.pairs, snap.delta_phi):
+            vote = pair_votes(pair, float(phi), world, wavelength)
+            assert vote[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_votes_nonpositive(self, deployment, plane, wavelength, rng):
+        snap = ideal_snapshot(deployment, plane, [1.0, 1.0], wavelength)
+        points = plane.to_world(rng.uniform(0, 2.6, size=(200, 2)))
+        for pair, phi in zip(snap.pairs, snap.delta_phi):
+            assert np.all(pair_votes(pair, float(phi), points, wavelength) <= 0)
+
+    def test_vote_floor_is_quarter_cycle(self, deployment, plane, wavelength, rng):
+        snap = ideal_snapshot(deployment, plane, [1.0, 1.0], wavelength)
+        points = plane.to_world(rng.uniform(-1, 3, size=(500, 2)))
+        for pair, phi in zip(snap.pairs, snap.delta_phi):
+            votes = pair_votes(pair, float(phi), points, wavelength)
+            assert np.all(votes >= -0.25 - 1e-9)
+
+    def test_locked_k_vote_unbounded_when_wrong(
+        self, deployment, plane, wavelength
+    ):
+        pair = deployment.pairs()[0]
+        point = plane.to_world(np.array([1.0, 1.0]))[np.newaxis, :]
+        truth_phi = 0.0
+        free = pair_votes(pair, truth_phi, point, wavelength)
+        wrong = pair_votes(pair, truth_phi, point, wavelength, lock_k=50)
+        assert wrong[0] < free[0]
+        assert wrong[0] < -1.0  # far beyond the wrapped floor
+
+    def test_tight_pair_single_beam_equals_free_vote(
+        self, deployment, plane, wavelength, rng
+    ):
+        # For a λ/4 pair (backscatter λ/2 equivalent) every point's nearest
+        # k is 0, so Eq. 6 (k=0) and Eq. 7 (min over k) coincide.
+        pair = deployment.pair(5, 6)
+        points = plane.to_world(rng.uniform(0, 2.6, size=(300, 2)))
+        free = pair_votes(pair, 0.7, points, wavelength)
+        locked = pair_votes(pair, 0.7, points, wavelength, lock_k=0)
+        assert np.allclose(free, locked)
+
+
+class TestTotalVotes:
+    def test_sum_of_pairs(self, deployment, plane, wavelength):
+        snap = ideal_snapshot(deployment, plane, [1.5, 1.0], wavelength)
+        points = plane.to_world(np.array([[1.0, 1.0], [2.0, 0.5]]))
+        total = total_votes(
+            snap.pairs, snap.delta_phi, points, wavelength
+        )
+        manual = sum(
+            pair_votes(pair, float(phi), points, wavelength)
+            for pair, phi in zip(snap.pairs, snap.delta_phi)
+        )
+        assert np.allclose(total, manual)
+
+    def test_requires_matching_lengths(self, deployment, plane, wavelength):
+        with pytest.raises(ValueError):
+            total_votes(
+                deployment.pairs(), np.zeros(3), np.zeros((1, 3)), wavelength
+            )
+
+
+class TestVoteMap:
+    def make_map(self, deployment, plane, wavelength, truth_uv, step=0.02):
+        snap = ideal_snapshot(deployment, plane, truth_uv, wavelength)
+        return vote_map_on_grid(
+            snap.pairs, snap.delta_phi, plane,
+            (0.5, 2.1), (0.5, 2.1), step, wavelength,
+        )
+
+    def test_best_point_near_truth_on_fine_grid(
+        self, deployment, plane, wavelength
+    ):
+        # The 8λ pairs' vote fringes are centimetre-scale, so direct vote
+        # maps need a fine grid — coarser grids alias, which is exactly
+        # why the two-stage algorithm votes coarse-to-fine.
+        truth = np.array([1.31, 1.29])
+        snap = ideal_snapshot(deployment, plane, truth, wavelength)
+        vote_map = vote_map_on_grid(
+            snap.pairs, snap.delta_phi, plane,
+            (1.1, 1.5), (1.1, 1.5), 0.005, wavelength,
+        )
+        assert np.linalg.norm(vote_map.best_point() - truth) < 0.01
+
+    def test_peaks_respect_separation(self, deployment, plane, wavelength):
+        vote_map = self.make_map(deployment, plane, wavelength, [1.3, 1.3])
+        peaks = vote_map.peaks(count=6, min_separation=0.2)
+        for i, (a, _) in enumerate(peaks):
+            for b, _ in peaks[i + 1:]:
+                assert np.linalg.norm(a - b) >= 0.2 - 1e-9
+
+    def test_threshold_mask(self, deployment, plane, wavelength):
+        vote_map = self.make_map(deployment, plane, wavelength, [1.3, 1.3])
+        mask = vote_map.threshold_mask(0.01)
+        assert mask.any()
+        assert mask.sum() < mask.size
+
+    def test_shape_validation(self, plane):
+        with pytest.raises(ValueError):
+            VoteMap(plane, np.arange(3), np.arange(4), np.zeros((3, 4)))

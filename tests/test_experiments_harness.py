@@ -1,0 +1,80 @@
+"""Unit tests for the experiment harness and registry."""
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult, format_result
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+class TestExperimentResult:
+    def test_add_row_and_column(self):
+        result = ExperimentResult("t1", "test")
+        result.add_row(a=1, b=2.0)
+        result.add_row(a=3, b=4.0)
+        assert result.column("a") == [1, 3]
+
+    def test_column_skips_missing(self):
+        result = ExperimentResult("t1", "test")
+        result.add_row(a=1)
+        result.add_row(b=2)
+        assert result.column("a") == [1]
+
+    def test_notes(self):
+        result = ExperimentResult("t1", "test")
+        result.add_note("hello")
+        assert result.notes == ["hello"]
+
+
+class TestFormat:
+    def test_renders_header_rows_notes(self):
+        result = ExperimentResult("fig00", "demo experiment")
+        result.add_row(name="x", value=1.234567)
+        result.add_note("a note")
+        text = format_result(result)
+        assert "fig00" in text and "demo experiment" in text
+        assert "name" in text and "value" in text
+        assert "1.235" in text
+        assert "note: a note" in text
+
+    def test_handles_empty_rows(self):
+        text = format_result(ExperimentResult("fig00", "empty"))
+        assert "fig00" in text
+
+    def test_mixed_columns_align(self):
+        result = ExperimentResult("t", "mixed")
+        result.add_row(a=1)
+        result.add_row(a=2, b="extra")
+        text = format_result(result)
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[1:4]}) <= 2
+
+    def test_large_and_tiny_floats(self):
+        result = ExperimentResult("t", "floats")
+        result.add_row(x=1.5e-7, y=3.2e9)
+        text = format_result(result)
+        assert "e-07" in text and "e+09" in text
+
+
+class TestRegistry:
+    def test_all_paper_figures_registered(self):
+        expected = {
+            "fig02", "fig03", "fig04", "fig06", "fig07", "fig10",
+            "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "noise",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_every_module_has_run_and_paper(self):
+        for module, _, _ in EXPERIMENTS.values():
+            assert callable(module.run)
+            assert isinstance(module.PAPER, dict)
+
+    def test_fast_instant_experiments_run(self):
+        # The closed-form experiments are cheap enough for unit tests.
+        for experiment_id in ("fig02", "fig03", "fig04", "noise"):
+            result = run_experiment(experiment_id)
+            assert result.rows
+            assert result.experiment_id == experiment_id

@@ -1,0 +1,94 @@
+"""Unit tests for antennas, pairs and deployments."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.antennas import Antenna, AntennaPair, Deployment
+
+
+def make_pair(separation, reader_id=1):
+    first = Antenna(1, [0.0, 0.0, 0.0], reader_id=reader_id)
+    second = Antenna(2, [separation, 0.0, 0.0], reader_id=reader_id)
+    return AntennaPair(first, second)
+
+
+class TestAntenna:
+    def test_distance_scalar(self):
+        antenna = Antenna(1, [0.0, 0.0, 0.0])
+        assert antenna.distance_to([3.0, 4.0, 0.0]) == pytest.approx(5.0)
+
+    def test_distance_vectorised(self):
+        antenna = Antenna(1, [0.0, 0.0, 0.0])
+        distances = antenna.distance_to(np.array([[1.0, 0, 0], [0, 2.0, 0]]))
+        assert np.allclose(distances, [1.0, 2.0])
+
+
+class TestAntennaPair:
+    def test_separation(self):
+        assert make_pair(0.5).separation == pytest.approx(0.5)
+
+    def test_rejects_same_antenna(self):
+        antenna = Antenna(1, [0, 0, 0])
+        with pytest.raises(ValueError):
+            AntennaPair(antenna, antenna)
+
+    def test_rejects_cross_reader_pair(self):
+        first = Antenna(1, [0, 0, 0], reader_id=1)
+        second = Antenna(2, [1, 0, 0], reader_id=2)
+        with pytest.raises(ValueError, match="cross-reader"):
+            AntennaPair(first, second)
+
+    def test_path_difference_sign_convention(self):
+        pair = make_pair(1.0)
+        # Point close to `second` (at x=1): d(first) > d(second) ⇒ Δd > 0.
+        assert pair.path_difference([1.0, 0.0, 1.0]) > 0
+        # Point close to `first`: Δd < 0.
+        assert pair.path_difference([0.0, 0.0, 1.0]) < 0
+
+    def test_path_difference_bounded_by_separation(self):
+        pair = make_pair(2.0)
+        rng = np.random.default_rng(0)
+        points = rng.uniform(-5, 5, size=(100, 3))
+        deltas = pair.path_difference(points)
+        assert np.all(np.abs(deltas) <= 2.0 + 1e-9)
+
+    def test_midpoint_and_baseline(self):
+        pair = make_pair(2.0)
+        assert np.allclose(pair.midpoint, [1.0, 0.0, 0.0])
+        assert np.allclose(pair.baseline, [1.0, 0.0, 0.0])
+
+    def test_max_lobe_count_matches_paper(self, wavelength):
+        # One-way: D = Kλ/2 gives K lobes (section 3.2), counting the
+        # endpoint half-lobes yields K+1 for even K.
+        assert make_pair(wavelength / 2).max_lobe_count(wavelength, 1.0) == 1
+        assert make_pair(8 * wavelength).max_lobe_count(wavelength, 1.0) == 17
+        # Backscatter doubles the count for the same physical spacing.
+        assert make_pair(8 * wavelength).max_lobe_count(wavelength, 2.0) == 33
+
+
+class TestDeployment:
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError):
+            Deployment([Antenna(1, [0, 0, 0]), Antenna(1, [1, 0, 0])])
+
+    def test_antenna_lookup(self, deployment):
+        assert deployment.antenna(3).antenna_id == 3
+        with pytest.raises(KeyError):
+            deployment.antenna(99)
+
+    def test_pairs_are_same_reader_only(self, deployment):
+        for pair in deployment.pairs():
+            assert pair.first.reader_id == pair.second.reader_id
+
+    def test_pair_count(self, deployment):
+        # 4 antennas per reader ⇒ C(4,2) = 6 pairs per reader.
+        assert len(deployment.pairs()) == 12
+        assert len(deployment.pairs(reader_id=1)) == 6
+
+    def test_separation_filter(self, deployment, wavelength):
+        tight = deployment.pairs(max_separation=wavelength / 2)
+        assert {pair.ids for pair in tight} == {(5, 6), (7, 8)}
+
+    def test_bounding_box(self, deployment, wavelength):
+        low, high = deployment.bounding_box()
+        assert np.allclose(high[0] - low[0], 8 * wavelength)

@@ -1,0 +1,87 @@
+"""Unit tests for the paper's deployment layouts."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.layouts import (
+    TIGHT_READER,
+    WIDE_READER,
+    aoa_baseline_layout,
+    linear_array,
+    rfidraw_layout,
+)
+
+
+class TestRfidrawLayout:
+    def test_eight_antennas_two_readers(self, deployment):
+        assert len(deployment) == 8
+        assert deployment.reader_ids == [WIDE_READER, TIGHT_READER]
+
+    def test_square_side_is_8_wavelengths(self, deployment, wavelength):
+        # Paper: 8λ ≈ 2.6 m at 922 MHz.
+        pair = deployment.pair(1, 2)
+        assert pair.separation == pytest.approx(8 * wavelength)
+        assert pair.separation == pytest.approx(2.6, abs=0.01)
+
+    def test_tight_pairs_quarter_wavelength(self, deployment, wavelength):
+        # λ/4 for backscatter round trip (paper section 6).
+        for ids in ((5, 6), (7, 8)):
+            assert deployment.pair(*ids).separation == pytest.approx(
+                wavelength / 4
+            )
+
+    def test_corners_form_a_square(self, deployment, wavelength):
+        positions = [deployment.antenna(i).position for i in (1, 2, 3, 4)]
+        side = 8 * wavelength
+        assert np.allclose(positions[1] - positions[0], [side, 0, 0])
+        assert np.allclose(positions[3] - positions[0], [0, 0, side])
+
+    def test_all_on_wall(self, deployment):
+        for antenna in deployment:
+            assert antenna.position[1] == pytest.approx(0.0)
+
+    def test_origin_offset(self, wavelength):
+        shifted = rfidraw_layout(wavelength, origin=(1.0, 0.5))
+        assert np.allclose(shifted.antenna(1).position, [1.0, 0.0, 0.5])
+
+    def test_rejects_bad_wavelength(self):
+        with pytest.raises(ValueError):
+            rfidraw_layout(0.0)
+
+
+class TestBaselineLayout:
+    def test_two_arrays_of_four(self, baseline_deployment):
+        assert len(baseline_deployment) == 8
+        for reader_id in (1, 2):
+            assert len(baseline_deployment.antennas_of_reader(reader_id)) == 4
+
+    def test_element_spacing(self, baseline_deployment, wavelength):
+        left = baseline_deployment.antennas_of_reader(1)
+        spacing = np.linalg.norm(left[1].position - left[0].position)
+        assert spacing == pytest.approx(wavelength / 4)
+
+    def test_left_array_vertical_bottom_horizontal(self, baseline_deployment):
+        left = baseline_deployment.antennas_of_reader(1)
+        bottom = baseline_deployment.antennas_of_reader(2)
+        left_axis = left[-1].position - left[0].position
+        bottom_axis = bottom[-1].position - bottom[0].position
+        assert abs(left_axis[0]) < 1e-12 and left_axis[2] > 0
+        assert bottom_axis[0] > 0 and abs(bottom_axis[2]) < 1e-12
+
+
+class TestLinearArray:
+    def test_centred(self):
+        elements = linear_array(1, (0.0, 0.0), (1.0, 0.0), 4, 0.1, reader_id=1)
+        center = np.mean([e.position for e in elements], axis=0)
+        assert np.allclose(center, [0, 0, 0])
+
+    def test_consecutive_ids_and_ports(self):
+        elements = linear_array(5, (0.0, 0.0), (0.0, 1.0), 3, 0.1, reader_id=2)
+        assert [e.antenna_id for e in elements] == [5, 6, 7]
+        assert [e.port for e in elements] == [0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_array(1, (0, 0), (1, 0), 1, 0.1, reader_id=1)
+        with pytest.raises(ValueError):
+            linear_array(1, (0, 0), (0, 0), 4, 0.1, reader_id=1)

@@ -1,0 +1,62 @@
+"""Unit tests for the writing plane."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.plane import WritingPlane, writing_plane
+
+
+class TestWritingPlane:
+    def test_round_trip(self, plane):
+        uv = np.array([[0.3, 1.1], [2.0, 0.0]])
+        assert np.allclose(plane.to_plane(plane.to_world(uv)), uv)
+
+    def test_world_coordinates(self, plane):
+        world = plane.to_world([1.0, 2.0])
+        assert np.allclose(world, [1.0, 2.0, 2.0])  # x=u, y=distance, z=v
+
+    def test_scalar_round_trip(self, plane):
+        world = plane.to_world(np.array([0.5, 0.7]))
+        assert world.shape == (3,)
+        assert np.allclose(plane.to_plane(world), [0.5, 0.7])
+
+    def test_rejects_non_orthogonal_axes(self):
+        with pytest.raises(ValueError):
+            WritingPlane(
+                origin=[0, 0, 0], u_axis=[1, 0, 0], v_axis=[1, 1, 0]
+            )
+
+    def test_normal_is_unit(self, plane):
+        assert np.linalg.norm(plane.normal) == pytest.approx(1.0)
+
+    def test_grid_shapes(self, plane):
+        points, us, vs = plane.grid((0.0, 1.0), (0.0, 0.5), 0.25)
+        assert us.size == 5 and vs.size == 3
+        assert points.shape == (15, 3)
+        # Row-major over (v, u): first row shares v.
+        reshaped = points.reshape(3, 5, 3)
+        assert np.allclose(reshaped[0, :, 2], reshaped[0, 0, 2])
+
+    def test_grid_rejects_bad_step(self, plane):
+        with pytest.raises(ValueError):
+            plane.grid((0, 1), (0, 1), 0.0)
+
+    def test_distance_of(self, plane):
+        assert plane.distance_of(np.array([0.0, 2.0, 0.0])) == pytest.approx(0.0)
+        # Wall points are 2 m behind the plane (negative normal side).
+        assert abs(plane.distance_of(np.zeros(3))) == pytest.approx(2.0)
+
+
+class TestFactory:
+    def test_distance_validation(self):
+        with pytest.raises(ValueError):
+            writing_plane(0.0)
+        with pytest.raises(ValueError):
+            writing_plane(-1.0)
+
+    def test_axes_match_paper_plots(self):
+        plane = writing_plane(3.0)
+        # u along room x, v along vertical z.
+        assert np.allclose(plane.u_axis, [1, 0, 0])
+        assert np.allclose(plane.v_axis, [0, 0, 1])
+        assert np.allclose(plane.origin, [0, 3.0, 0])

@@ -1,0 +1,69 @@
+"""Unit tests for repro.geometry.vectors."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.vectors import as_point, as_points, distances_to, unit
+
+
+class TestAsPoint:
+    def test_3d_passthrough(self):
+        point = as_point([1.0, 2.0, 3.0])
+        assert point.shape == (3,)
+        assert np.allclose(point, [1.0, 2.0, 3.0])
+
+    def test_2d_lifts_to_wall_plane(self):
+        point = as_point([1.5, 0.7])
+        assert np.allclose(point, [1.5, 0.0, 0.7])
+
+    def test_copies_input(self):
+        source = np.array([1.0, 2.0, 3.0])
+        point = as_point(source)
+        point[0] = 99.0
+        assert source[0] == 1.0
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            as_point([1.0])
+        with pytest.raises(ValueError):
+            as_point([1.0, 2.0, 3.0, 4.0])
+
+
+class TestAsPoints:
+    def test_single_point_becomes_row(self):
+        points = as_points([1.0, 2.0, 3.0])
+        assert points.shape == (1, 3)
+
+    def test_2d_rows_lifted(self):
+        points = as_points([[1.0, 2.0], [3.0, 4.0]])
+        assert points.shape == (2, 3)
+        assert np.allclose(points[:, 1], 0.0)
+
+    def test_3d_rows_passthrough(self):
+        data = [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]
+        assert np.allclose(as_points(data), data)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            as_points(np.zeros((2, 4)))
+
+
+class TestDistances:
+    def test_known_distance(self):
+        origin = np.zeros(3)
+        points = np.array([[3.0, 4.0, 0.0]])
+        assert np.allclose(distances_to(origin, points), [5.0])
+
+    def test_vectorised(self):
+        origin = np.array([1.0, 0.0, 0.0])
+        points = np.array([[1.0, 0.0, 0.0], [1.0, 0.0, 2.0]])
+        assert np.allclose(distances_to(origin, points), [0.0, 2.0])
+
+
+class TestUnit:
+    def test_normalises(self):
+        assert np.allclose(unit([0.0, 0.0, 2.0]), [0.0, 0.0, 1.0])
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            unit([0.0, 0.0, 0.0])

@@ -1,0 +1,70 @@
+"""Unit tests for the embedded corpus."""
+
+import numpy as np
+import pytest
+
+from repro.handwriting.corpus import CORPUS, sample_words, words_by_length
+
+
+class TestCorpus:
+    def test_size(self):
+        # Substantial dictionary (the paper used the COCA top-5000).
+        assert len(CORPUS) >= 800
+
+    def test_all_lowercase_letters(self):
+        for word in CORPUS:
+            assert word.isalpha() and word.islower(), word
+
+    def test_no_duplicates(self):
+        assert len(set(CORPUS)) == len(CORPUS)
+
+    def test_paper_examples_present(self):
+        # Section 6 names these example words.
+        for word in ("play", "clear", "import"):
+            assert word in CORPUS
+
+    def test_frequency_head(self):
+        # The most frequent English words lead the ranking.
+        assert CORPUS[0] == "the"
+        assert set(CORPUS[:10]) >= {"the", "of", "and"}
+
+
+class TestWordsByLength:
+    def test_grouping(self):
+        grouped = words_by_length()
+        for length, words in grouped.items():
+            assert all(len(word) == length for word in words)
+
+    def test_bounds(self):
+        grouped = words_by_length(3, 4)
+        assert set(grouped) <= {3, 4}
+
+    def test_covers_eval_lengths(self):
+        grouped = words_by_length()
+        for length in (2, 3, 4, 5, 6, 7):
+            assert len(grouped.get(length, [])) >= 10
+
+
+class TestSampleWords:
+    def test_count_and_range(self, rng):
+        words = sample_words(20, rng, min_length=3, max_length=5)
+        assert len(words) == 20
+        assert all(3 <= len(word) <= 5 for word in words)
+
+    def test_unique_sampling(self, rng):
+        words = sample_words(50, rng, unique=True)
+        assert len(set(words)) == 50
+
+    def test_unique_overdraw_rejected(self, rng):
+        pool = [w for w in CORPUS if len(w) == 2]
+        with pytest.raises(ValueError):
+            sample_words(len(pool) + 1, rng, 2, 2, unique=True)
+
+    def test_empty_range_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_words(5, rng, min_length=30, max_length=40)
+
+    def test_deterministic_given_seed(self):
+        a = sample_words(10, np.random.default_rng(3))
+        b = sample_words(10, np.random.default_rng(3))
+        assert a == b

@@ -1,0 +1,81 @@
+"""Unit tests for the stroke font."""
+
+import numpy as np
+import pytest
+
+from repro.handwriting.font import Glyph, StrokeFont, default_font
+
+
+class TestDefaultFont:
+    def test_covers_lowercase_and_digits(self):
+        font = default_font()
+        for char in "abcdefghijklmnopqrstuvwxyz0123456789":
+            assert char in font
+
+    def test_cached_singleton(self):
+        assert default_font() is default_font()
+
+    def test_missing_glyph_raises(self):
+        with pytest.raises(KeyError):
+            default_font().glyph("@")
+
+    def test_glyph_lookup(self):
+        assert default_font().glyph("a").char == "a"
+
+
+class TestGlyphGeometry:
+    @pytest.mark.parametrize("char", list("abcdefghijklmnopqrstuvwxyz"))
+    def test_within_metrics(self, char):
+        glyph = default_font().glyph(char)
+        points = glyph.polyline()
+        assert points[:, 0].min() >= -0.05
+        assert points[:, 0].max() <= glyph.width + 0.05
+        assert points[:, 1].min() >= -0.5  # descender floor
+        assert points[:, 1].max() <= 1.05  # ascender ceiling
+
+    @pytest.mark.parametrize("char", list("bdfhklt"))
+    def test_ascenders_rise(self, char):
+        points = default_font().glyph(char).polyline()
+        assert points[:, 1].max() > 0.7
+
+    @pytest.mark.parametrize("char", list("gjpqy"))
+    def test_descenders_fall(self, char):
+        points = default_font().glyph(char).polyline()
+        assert points[:, 1].min() < -0.1
+
+    @pytest.mark.parametrize("char", list("aceimnorsuvwxz"))
+    def test_xheight_letters_stay_low(self, char):
+        points = default_font().glyph(char).polyline()
+        assert points[:, 1].max() <= 0.80
+
+    def test_path_length_positive(self):
+        for char in "aqmw":
+            assert default_font().glyph(char).path_length() > 0.5
+
+    def test_entry_exit(self):
+        glyph = default_font().glyph("v")
+        assert np.allclose(glyph.entry, glyph.strokes[0][0])
+        assert np.allclose(glyph.exit, glyph.strokes[-1][-1])
+
+    def test_distinct_shapes(self):
+        # Sanity: no two glyphs share the same polyline.
+        font = default_font()
+        seen = {}
+        for char in "abcdefghijklmnopqrstuvwxyz":
+            key = default_font().glyph(char).polyline().tobytes()
+            assert key not in seen, f"{char} duplicates {seen.get(key)}"
+            seen[key] = char
+
+
+class TestValidation:
+    def test_glyph_needs_strokes(self):
+        with pytest.raises(ValueError):
+            Glyph("x", 0.5, ())
+
+    def test_glyph_needs_width(self):
+        with pytest.raises(ValueError):
+            Glyph("x", 0.0, (np.zeros((2, 2)),))
+
+    def test_font_needs_glyphs(self):
+        with pytest.raises(ValueError):
+            StrokeFont({})

@@ -1,0 +1,106 @@
+"""Unit tests for automatic writing segmentation."""
+
+import numpy as np
+import pytest
+
+from repro.handwriting.generator import HandwritingGenerator, UserStyle
+from repro.handwriting.segmentation import (
+    Segment,
+    segment_letters,
+    segment_words,
+)
+
+
+def stream_of_words(words, pause=0.8, sample_rate=200.0):
+    """A continuous stream: words written with hovering pauses between."""
+    generator = HandwritingGenerator(style=UserStyle.neutral())
+    times, points = [], []
+    clock = 0.0
+    cursor = 0.0
+    for word in words:
+        trace = generator.word_trace(word, origin=(cursor, 0.0),
+                                     start_time=clock)
+        times.append(trace.times)
+        points.append(trace.points)
+        clock = trace.times[-1]
+        # Hover at the word's end for `pause` seconds.
+        hover_samples = int(pause * sample_rate)
+        hover_t = clock + np.arange(1, hover_samples + 1) / sample_rate
+        times.append(hover_t)
+        points.append(np.tile(trace.points[-1], (hover_samples, 1)))
+        clock = hover_t[-1]
+        cursor += trace.points[:, 0].max() - trace.points[:, 0].min() + 0.15
+    return np.concatenate(times), np.concatenate(points)
+
+
+class TestSegmentWords:
+    def test_counts_words(self):
+        times, points = stream_of_words(["play", "clear", "go"])
+        segments = segment_words(times, points)
+        assert len(segments) == 3
+
+    def test_segments_ordered_and_disjoint(self):
+        times, points = stream_of_words(["on", "it"])
+        segments = segment_words(times, points)
+        for earlier, later in zip(segments, segments[1:]):
+            assert earlier.end_index <= later.start_index
+
+    def test_segment_contents_match_word_extent(self):
+        times, points = stream_of_words(["water"])
+        segments = segment_words(times, points)
+        assert len(segments) == 1
+        chunk = segments[0].slice(points)
+        # The segment spans (almost) the full written width.
+        assert chunk[:, 0].max() - chunk[:, 0].min() > 0.8 * (
+            points[:, 0].max() - points[:, 0].min()
+        )
+
+    def test_empty_and_tiny_streams(self):
+        assert segment_words(np.zeros(2), np.zeros((2, 2))) == []
+
+    def test_alignment_validated(self):
+        with pytest.raises(ValueError):
+            segment_words(np.zeros(3), np.zeros((4, 2)))
+
+
+class TestSegmentLetters:
+    def test_expected_count_honoured(self):
+        trace = HandwritingGenerator().word_trace("clear")
+        segments = segment_letters(
+            trace.times, trace.points, expected_letters=5
+        )
+        assert len(segments) == 5
+
+    def test_segments_cover_stream(self):
+        trace = HandwritingGenerator().word_trace("good")
+        segments = segment_letters(trace.times, trace.points,
+                                   expected_letters=4)
+        assert segments[0].start_index == 0
+        assert segments[-1].end_index == trace.points.shape[0]
+
+    def test_boundaries_near_true_letter_spans(self):
+        trace = HandwritingGenerator().word_trace("on")
+        segments = segment_letters(trace.times, trace.points,
+                                   expected_letters=2)
+        assert len(segments) == 2
+        true_boundary = trace.letter_spans[1][1]  # second letter start time
+        found_boundary = segments[1].start_time
+        assert abs(found_boundary - true_boundary) < 0.5
+
+    def test_single_letter_word(self):
+        trace = HandwritingGenerator().letter_trace("o")
+        segments = segment_letters(trace.times, trace.points,
+                                   expected_letters=1)
+        assert len(segments) == 1
+
+    def test_short_stream_single_segment(self):
+        segments = segment_letters(np.arange(4.0), np.zeros((4, 2)))
+        assert len(segments) == 1
+
+
+class TestSegmentDataclass:
+    def test_slice_and_count(self):
+        segment = Segment(2, 5, 0.2, 0.5)
+        data = np.arange(10)
+        assert list(segment.slice(data)) == [2, 3, 4]
+        assert segment.sample_count == 3

@@ -1,0 +1,116 @@
+"""Unit tests for record/replay serialization."""
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    load_phase_log,
+    load_trajectory,
+    save_phase_log,
+    save_trajectory,
+)
+from repro.rfid.reader import PhaseReport
+from repro.rfid.sampling import MeasurementLog
+
+
+def make_log():
+    return MeasurementLog(
+        [
+            PhaseReport(0.01, "A" * 24, 1, 2, 1.2345, -55.0),
+            PhaseReport(0.02, "B" * 24, 2, 7, 6.0001, -62.5),
+            PhaseReport(0.015, "A" * 24, 1, 3, 0.0, -58.0),
+        ]
+    )
+
+
+class TestPhaseLogs:
+    def test_round_trip(self, tmp_path):
+        log = make_log()
+        path = tmp_path / "session.jsonl"
+        count = save_phase_log(log, path)
+        assert count == 3
+        loaded = load_phase_log(path)
+        assert len(loaded) == 3
+        for original, restored in zip(log.reports, loaded.reports):
+            assert original == restored
+
+    def test_loaded_log_sorted(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        save_phase_log(make_log(), path)
+        loaded = load_phase_log(path)
+        times = [report.time for report in loaded.reports]
+        assert times == sorted(times)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        save_phase_log(make_log(), path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_phase_log(path)) == 3
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"time": 1.0}\n')
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            load_phase_log(path)
+
+    def test_replay_through_pipeline(self, tmp_path, deployment, free_channel, rng):
+        """A saved session replays identically through build_pair_series."""
+        from repro.rf.noise import PhaseNoiseModel
+        from repro.rfid.epc import Epc96
+        from repro.rfid.reader import Reader
+        from repro.rfid.sampling import build_pair_series
+        from repro.rfid.tag import PassiveTag
+
+        tag = PassiveTag(Epc96.with_serial(6), np.array([1.2, 2.0, 1.1]))
+        reports = []
+        for reader_id in deployment.reader_ids:
+            reader = Reader(
+                reader_id,
+                deployment.antennas_of_reader(reader_id),
+                free_channel,
+                PhaseNoiseModel.noiseless(),
+                dwell_time=0.04,
+            )
+            reports.extend(reader.inventory([tag], 1.5, rng))
+        live = MeasurementLog(reports)
+        path = tmp_path / "replay.jsonl"
+        save_phase_log(live, path)
+        replayed = load_phase_log(path)
+
+        live_series = build_pair_series(live, deployment, sample_rate=10.0)
+        replay_series = build_pair_series(replayed, deployment, sample_rate=10.0)
+        for a, b in zip(live_series, replay_series):
+            assert np.allclose(a.delta_phi, b.delta_phi)
+
+
+class TestTrajectories:
+    def test_round_trip(self, tmp_path):
+        times = np.linspace(0, 1, 7)
+        points = np.random.default_rng(0).normal(size=(7, 2))
+        path = tmp_path / "trace.csv"
+        save_trajectory(times, points, path)
+        loaded_times, loaded_points = load_trajectory(path)
+        assert np.allclose(loaded_times, times, atol=1e-6)
+        assert np.allclose(loaded_points, points, atol=1e-6)
+
+    def test_header_validated(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="expected header"):
+            load_trajectory(path)
+
+    def test_alignment_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_trajectory(np.zeros(3), np.zeros((4, 2)), tmp_path / "x.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("time,u,v\n")
+        times, points = load_trajectory(path)
+        assert times.size == 0 and points.shape == (0, 2)
+
+    def test_malformed_row_reports_location(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,u,v\n1.0,x,2.0\n")
+        with pytest.raises(ValueError, match="bad.csv:2"):
+            load_trajectory(path)

@@ -1,0 +1,103 @@
+"""Unit tests for VICON capture and scripted gestures."""
+
+import numpy as np
+import pytest
+
+from repro.motion.gestures import circle, square, swipe, zigzag
+from repro.motion.vicon import GroundTruthTrace, ViconCapture
+
+
+class TestViconCapture:
+    def make_truth(self):
+        times = np.linspace(0, 2, 400)
+        points = np.stack([np.cos(times), np.sin(times)], axis=1)
+        return times, points
+
+    def test_resamples_at_frame_rate(self, rng):
+        times, points = self.make_truth()
+        capture = ViconCapture(frame_rate=100.0).capture(times, points, rng)
+        assert len(capture.times) == pytest.approx(201, abs=2)
+
+    def test_submillimetre_noise(self, rng):
+        times, points = self.make_truth()
+        capture = ViconCapture(noise_sigma=0.0005, dropout_probability=0.0)
+        recorded = capture.capture(times, points, rng)
+        truth_at_frames = np.stack(
+            [
+                np.interp(recorded.times, times, points[:, 0]),
+                np.interp(recorded.times, times, points[:, 1]),
+            ],
+            axis=1,
+        )
+        errors = np.linalg.norm(recorded.points - truth_at_frames, axis=1)
+        assert np.median(errors) < 0.002
+
+    def test_dropouts_marked_invalid(self, rng):
+        times, points = self.make_truth()
+        capture = ViconCapture(dropout_probability=0.3).capture(
+            times, points, rng
+        )
+        assert not capture.valid.all()
+        assert capture.valid[0] and capture.valid[-1]
+
+    def test_position_at_skips_dropouts(self, rng):
+        times, points = self.make_truth()
+        capture = ViconCapture(dropout_probability=0.2).capture(
+            times, points, rng
+        )
+        mid = capture.position_at(1.0)
+        assert np.linalg.norm(mid - [np.cos(1.0), np.sin(1.0)]) < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ViconCapture(noise_sigma=-1.0)
+        with pytest.raises(ValueError):
+            ViconCapture(dropout_probability=1.5)
+        with pytest.raises(ValueError):
+            ViconCapture(frame_rate=0.0)
+
+    def test_trace_alignment_validated(self):
+        with pytest.raises(ValueError):
+            GroundTruthTrace(np.zeros(3), np.zeros((4, 2)), np.ones(3, bool))
+
+
+class TestGestures:
+    def test_circle_closes(self):
+        times, points = circle((1.0, 1.0), 0.1)
+        assert np.linalg.norm(points[0] - points[-1]) < 0.01
+        radii = np.linalg.norm(points - np.array([1.0, 1.0]), axis=1)
+        assert np.allclose(radii, 0.1, atol=0.005)
+
+    def test_square_corners(self):
+        times, points = square((0.0, 0.0), 0.2)
+        assert points[:, 0].min() == pytest.approx(-0.1, abs=0.01)
+        assert points[:, 0].max() == pytest.approx(0.1, abs=0.01)
+
+    def test_swipe_straight(self):
+        times, points = swipe((0.0, 0.0), (0.5, 0.0))
+        assert np.allclose(points[:, 1], 0.0, atol=1e-9)
+        assert points[-1, 0] == pytest.approx(0.5)
+
+    def test_zigzag_reversals(self):
+        times, points = zigzag((0.0, 0.0), width=0.4, height=0.1, cycles=3)
+        direction_changes = np.diff(np.sign(np.diff(points[:, 1])))
+        assert (direction_changes != 0).sum() >= 4
+
+    def test_times_monotone_all(self):
+        for times, _ in (
+            circle((0, 0), 0.1),
+            square((0, 0), 0.2),
+            swipe((0, 0), (1, 0)),
+            zigzag((0, 0), 0.3, 0.1),
+        ):
+            assert np.all(np.diff(times) > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            circle((0, 0), 0.0)
+        with pytest.raises(ValueError):
+            square((0, 0), -1.0)
+        with pytest.raises(ValueError):
+            swipe((0, 0), (0, 0))
+        with pytest.raises(ValueError):
+            zigzag((0, 0), 0.1, 0.1, cycles=0)

@@ -1,0 +1,152 @@
+"""Unit tests for beam patterns and grating-lobe analysis."""
+
+import numpy as np
+import pytest
+
+from repro.rf.beams import (
+    array_beam_pattern,
+    cos_theta_solutions,
+    count_grating_lobes,
+    grating_lobe_angles,
+    half_power_beamwidth,
+    lobe_width_at,
+    main_lobe_mask,
+    pair_beam_pattern,
+    pair_vote_pattern,
+    phase_noise_sensitivity,
+)
+
+
+@pytest.fixture
+def theta():
+    return np.linspace(0.0, np.pi, 8001)
+
+
+class TestPairBeamPattern:
+    def test_peaks_on_grating_lobes(self, theta, wavelength):
+        separation = 3 * wavelength
+        pattern = pair_beam_pattern(theta, separation, wavelength)
+        for angle in grating_lobe_angles(separation, wavelength):
+            index = np.argmin(np.abs(theta - angle))
+            assert pattern[index] > 0.999
+
+    def test_range_zero_to_one(self, theta, wavelength):
+        pattern = pair_beam_pattern(theta, 2 * wavelength, wavelength)
+        assert pattern.min() >= 0.0 and pattern.max() <= 1.0 + 1e-12
+
+    def test_rejects_bad_args(self, theta, wavelength):
+        with pytest.raises(ValueError):
+            pair_beam_pattern(theta, 0.0, wavelength)
+        with pytest.raises(ValueError):
+            pair_beam_pattern(theta, 1.0, -1.0)
+
+
+class TestGratingLobes:
+    def test_paper_lobe_counts(self, wavelength):
+        # Paper Fig. 3: λ/2 → 1 beam; 8λ → many narrow lobes.
+        assert count_grating_lobes(wavelength / 2, wavelength) == 1
+        assert count_grating_lobes(wavelength, wavelength) == 3
+        assert count_grating_lobes(8 * wavelength, wavelength) == 17
+
+    def test_count_grows_linearly(self, wavelength):
+        counts = [
+            count_grating_lobes(k * wavelength, wavelength) for k in (1, 2, 4, 8)
+        ]
+        assert counts == [3, 5, 9, 17]
+
+    def test_backscatter_doubles_lobes(self, wavelength):
+        one_way = count_grating_lobes(4 * wavelength, wavelength, round_trip=1.0)
+        backscatter = count_grating_lobes(
+            4 * wavelength, wavelength, round_trip=2.0
+        )
+        assert backscatter == 2 * one_way - 1
+
+    def test_solutions_within_valid_range(self, wavelength):
+        solutions = cos_theta_solutions(5 * wavelength, wavelength, 1.234)
+        assert np.all(np.abs(solutions) <= 1.0)
+
+    def test_angles_sorted_and_valid(self, wavelength):
+        angles = grating_lobe_angles(5 * wavelength, wavelength, 0.7)
+        assert np.all(np.diff(angles) > 0)
+        assert angles.min() >= 0 and angles.max() <= np.pi
+
+
+class TestArrayPattern:
+    def test_coherent_peak_is_one(self, theta, wavelength):
+        positions = (np.arange(4) - 1.5) * wavelength / 2
+        pattern = array_beam_pattern(theta, positions, wavelength)
+        assert pattern.max() == pytest.approx(1.0, abs=1e-6)
+
+    def test_more_elements_narrower_beam(self, theta, wavelength):
+        widths = []
+        for count in (2, 4, 8):
+            positions = (np.arange(count) - (count - 1) / 2) * wavelength / 2
+            pattern = array_beam_pattern(theta, positions, wavelength)
+            widths.append(lobe_width_at(theta, pattern, np.pi / 2))
+        assert widths[0] > widths[1] > widths[2]
+
+    def test_validates_shapes(self, theta, wavelength):
+        with pytest.raises(ValueError):
+            array_beam_pattern(theta, np.array([0.0]), wavelength)
+        with pytest.raises(ValueError):
+            array_beam_pattern(
+                theta, np.array([0.0, 0.1]), wavelength, phases=np.zeros(3)
+            )
+
+
+class TestWidths:
+    def test_half_power_beamwidth_of_known_pattern(self, theta, wavelength):
+        # λ/2 pair: power = cos²(π/2·cosθ); half power at cosθ = ±1/2,
+        # i.e. θ ∈ [60°, 120°] ⇒ width 60°.
+        pattern = pair_beam_pattern(theta, wavelength / 2, wavelength)
+        width = lobe_width_at(theta, pattern, np.pi / 2)
+        assert np.degrees(width) == pytest.approx(60.0, abs=0.5)
+
+    def test_width_shrinks_with_separation(self, theta, wavelength):
+        widths = [
+            lobe_width_at(
+                theta,
+                pair_beam_pattern(theta, k * wavelength, wavelength),
+                np.pi / 2,
+            )
+            for k in (0.5, 1, 2, 8)
+        ]
+        assert all(a > b for a, b in zip(widths, widths[1:]))
+
+    def test_main_lobe_mask_contiguous(self, theta, wavelength):
+        pattern = pair_beam_pattern(theta, wavelength / 2, wavelength)
+        mask = main_lobe_mask(theta, pattern)
+        changes = np.diff(mask.astype(int))
+        assert (changes != 0).sum() <= 2  # one contiguous block
+
+    def test_half_power_beamwidth_wraps_main_peak(self, theta, wavelength):
+        pattern = pair_beam_pattern(theta, wavelength / 2, wavelength)
+        assert half_power_beamwidth(theta, pattern) == pytest.approx(
+            np.radians(60), abs=0.01
+        )
+
+
+class TestNoiseSensitivity:
+    def test_paper_values(self, wavelength):
+        # Section 3.3: φn = π/5 ⇒ 0.2 at λ/2 and 0.0125 at 8λ.
+        assert phase_noise_sensitivity(
+            wavelength / 2, wavelength, np.pi / 5
+        ) == pytest.approx(0.2)
+        assert phase_noise_sensitivity(
+            8 * wavelength, wavelength, np.pi / 5
+        ) == pytest.approx(0.0125)
+
+    def test_decreases_linearly_in_separation(self, wavelength):
+        s1 = phase_noise_sensitivity(wavelength, wavelength, 0.3)
+        s4 = phase_noise_sensitivity(4 * wavelength, wavelength, 0.3)
+        assert s1 / s4 == pytest.approx(4.0)
+
+
+class TestVotePattern:
+    def test_zero_on_lobes_negative_elsewhere(self, theta, wavelength):
+        separation = 4 * wavelength
+        votes = pair_vote_pattern(theta, separation, wavelength)
+        assert votes.max() <= 0.0 + 1e-12
+        for angle in grating_lobe_angles(separation, wavelength):
+            index = np.argmin(np.abs(theta - angle))
+            assert votes[index] == pytest.approx(0.0, abs=1e-4)

@@ -1,0 +1,146 @@
+"""Unit tests for the backscatter channel, multipath and noise models."""
+
+import numpy as np
+import pytest
+
+from repro.rf.channel import BackscatterChannel, Environment
+from repro.rf.multipath import PointScatterer, WallReflector
+from repro.rf.noise import PhaseNoiseModel
+from repro.rf.phase import phase_from_distance
+
+
+class TestFreeSpacePhase:
+    def test_matches_eq1_round_trip(self, free_channel, wavelength):
+        antenna = np.zeros(3)
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            tag = rng.uniform([-2, 1, 0], [3, 5, 2.5])
+            d = np.linalg.norm(tag - antenna)
+            expected = phase_from_distance(d, wavelength, round_trip=2.0)
+            assert float(free_channel.phase_at(antenna, tag)) == pytest.approx(
+                expected, abs=1e-9
+            )
+
+    def test_vectorised_matches_scalar(self, free_channel):
+        antenna = np.array([0.5, 0.0, 0.2])
+        tags = np.array([[1.0, 2.0, 1.0], [2.0, 3.0, 0.5]])
+        batch = free_channel.phase_at(antenna, tags)
+        singles = [float(free_channel.phase_at(antenna, t)) for t in tags]
+        assert np.allclose(batch, singles)
+
+
+class TestPower:
+    def test_rssi_falls_with_distance(self, free_channel):
+        antenna = np.zeros(3)
+        near = float(free_channel.rssi_dbm(antenna, np.array([0, 1.0, 0])))
+        far = float(free_channel.rssi_dbm(antenna, np.array([0, 4.0, 0])))
+        # Backscatter: 40 dB per decade of distance ⇒ 4× ⇒ ~24 dB.
+        assert near - far == pytest.approx(40 * np.log10(4), abs=0.5)
+
+    def test_incident_power_falls_at_20db_per_decade(self, free_channel):
+        antenna = np.zeros(3)
+        near = float(
+            free_channel.tag_incident_power_dbm(antenna, np.array([0, 1.0, 0]))
+        )
+        far = float(
+            free_channel.tag_incident_power_dbm(antenna, np.array([0, 10.0, 0]))
+        )
+        assert near - far == pytest.approx(20.0, abs=0.2)
+
+    def test_five_meter_range_limit(self, free_channel):
+        # Paper: beyond ≈ 5 m the tag cannot harvest enough energy.
+        from repro.rfid.tag import PassiveTag
+        from repro.rfid.epc import Epc96
+
+        tag = PassiveTag(Epc96.with_serial(1))
+        antenna = np.zeros(3)
+        at_4m = float(
+            free_channel.tag_incident_power_dbm(antenna, np.array([0, 4.0, 0]))
+        )
+        at_7m = float(
+            free_channel.tag_incident_power_dbm(antenna, np.array([0, 7.0, 0]))
+        )
+        assert tag.is_powered(at_4m)
+        assert not tag.is_powered(at_7m)
+
+
+class TestMultipath:
+    def test_scatterer_biases_phase(self, wavelength):
+        clean = BackscatterChannel(Environment.free_space(), wavelength)
+        dirty = BackscatterChannel(
+            Environment(
+                scatterers=[PointScatterer(position=(1.0, 1.0, 0.5), gain=0.4)]
+            ),
+            wavelength,
+        )
+        antenna = np.zeros(3)
+        tag = np.array([0.5, 2.0, 1.0])
+        assert float(clean.phase_at(antenna, tag)) != pytest.approx(
+            float(dirty.phase_at(antenna, tag)), abs=1e-3
+        )
+
+    def test_wall_reflection_image_length(self):
+        wall = WallReflector(point=(0, 0, 0), normal=(0, 0, 1.0))
+        a = np.array([0.0, 0.0, 1.0])
+        b = np.array([0.0, 0.0, 2.0])
+        # Path bounces off z=0: length = 1 + 2 = 3.
+        assert wall.path_length(a, b) == pytest.approx(3.0)
+
+    def test_wall_mirror(self):
+        wall = WallReflector(point=(0, 0, 0), normal=(0, 0, 1.0))
+        assert np.allclose(wall.mirror(np.array([1.0, 2.0, 3.0])), [1, 2, -3])
+
+    def test_same_side(self):
+        wall = WallReflector(point=(0, 0, 0), normal=(0, 0, 1.0))
+        assert wall.same_side(np.array([0, 0, 1.0]), np.array([1, 1, 2.0]))
+        assert not wall.same_side(np.array([0, 0, 1.0]), np.array([0, 0, -1.0]))
+
+    def test_nlos_attenuation_reduces_rssi(self, wavelength):
+        los = BackscatterChannel(Environment(los_gain=1.0), wavelength)
+        nlos = BackscatterChannel(Environment(los_gain=0.5), wavelength)
+        antenna = np.zeros(3)
+        tag = np.array([0.0, 2.0, 1.0])
+        drop = float(los.rssi_dbm(antenna, tag)) - float(
+            nlos.rssi_dbm(antenna, tag)
+        )
+        # Amplitude ×0.5 one-way ⇒ ×0.25 round trip ⇒ 12 dB.
+        assert drop == pytest.approx(12.0, abs=0.1)
+
+    def test_scatterer_validation(self):
+        with pytest.raises(ValueError):
+            PointScatterer(position=(0, 0, 0), gain=-0.1)
+        with pytest.raises(ValueError):
+            WallReflector(point=(0, 0, 0), normal=(0, 0, 1), reflectivity=1.5)
+
+
+class TestNoiseModel:
+    def test_noiseless_passthrough(self, rng):
+        model = PhaseNoiseModel.noiseless()
+        phase = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(model.corrupt_phase(phase, rng), phase)
+
+    def test_output_wrapped(self, rng):
+        model = PhaseNoiseModel(sigma=3.0)
+        phases = model.corrupt_phase(np.linspace(0, 6.2, 100), rng)
+        assert np.all(phases >= 0) and np.all(phases < 2 * np.pi)
+
+    def test_quantisation_grid(self, rng):
+        delta = 0.01
+        model = PhaseNoiseModel(sigma=0.0, quantization=delta)
+        phases = model.corrupt_phase(np.array([1.2345, 2.3456]), rng)
+        steps = phases / delta
+        assert np.allclose(steps, np.round(steps), atol=1e-9)
+
+    def test_noise_statistics(self, rng):
+        sigma = 0.2
+        model = PhaseNoiseModel(sigma=sigma, quantization=0.0)
+        clean = np.full(20_000, np.pi)
+        noisy = model.corrupt_phase(clean, rng)
+        measured = np.std(noisy - np.pi)
+        assert measured == pytest.approx(sigma, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseNoiseModel(sigma=-0.1)
+        with pytest.raises(ValueError):
+            PhaseNoiseModel(quantization=-0.1)

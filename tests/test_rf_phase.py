@@ -1,0 +1,153 @@
+"""Unit and property tests for phase arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rf.phase import (
+    cycle_residual,
+    interpolate_phase,
+    phase_from_distance,
+    unwrap_series,
+    wrap_to_half_cycle,
+    wrap_to_pi,
+    wrap_to_two_pi,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestWrapping:
+    def test_wrap_to_pi_range(self):
+        assert wrap_to_pi(np.pi + 0.1) == pytest.approx(-np.pi + 0.1)
+        assert wrap_to_pi(-np.pi - 0.1) == pytest.approx(np.pi - 0.1)
+
+    def test_wrap_to_two_pi_range(self):
+        assert wrap_to_two_pi(-0.1) == pytest.approx(2 * np.pi - 0.1)
+
+    @given(finite_floats)
+    @settings(max_examples=200)
+    def test_wrap_to_pi_is_idempotent_and_in_range(self, angle):
+        wrapped = wrap_to_pi(angle)
+        assert -np.pi < wrapped <= np.pi + 1e-9
+        assert wrap_to_pi(wrapped) == pytest.approx(wrapped, abs=1e-9)
+
+    @given(finite_floats)
+    @settings(max_examples=200)
+    def test_wrap_preserves_angle_mod_two_pi(self, angle):
+        wrapped = wrap_to_pi(angle)
+        assert np.cos(wrapped) == pytest.approx(np.cos(angle), abs=1e-6)
+        assert np.sin(wrapped) == pytest.approx(np.sin(angle), abs=1e-6)
+
+    @given(finite_floats)
+    @settings(max_examples=200)
+    def test_wrap_to_half_cycle_distance_to_nearest_integer(self, cycles):
+        wrapped = wrap_to_half_cycle(cycles)
+        assert -0.5 - 1e-9 <= wrapped < 0.5 + 1e-9
+        # wrapped equals cycles minus the nearest integer.
+        assert abs(wrapped) <= abs(cycles - round(cycles)) + 1e-6
+
+
+class TestPhaseFromDistance:
+    def test_eq1_backscatter(self, wavelength):
+        # One wavelength of one-way distance = two full turns round trip.
+        phase = phase_from_distance(wavelength, wavelength, round_trip=2.0)
+        assert wrap_to_pi(phase) == pytest.approx(0.0, abs=1e-9)
+
+    def test_quarter_wavelength(self, wavelength):
+        # λ/4 one-way ⇒ λ/2 round trip ⇒ phase −π ≡ π.
+        phase = phase_from_distance(wavelength / 4, wavelength, round_trip=2.0)
+        assert phase == pytest.approx(np.pi)
+
+    def test_monotone_decreasing_locally(self, wavelength):
+        # Phase decreases with distance (negative sign in Eq. 1).
+        d = 1.0
+        eps = 1e-4
+        p0 = phase_from_distance(d, wavelength, 2.0)
+        p1 = phase_from_distance(d + eps, wavelength, 2.0)
+        assert wrap_to_pi(p1 - p0) < 0
+
+    def test_rejects_bad_wavelength(self):
+        with pytest.raises(ValueError):
+            phase_from_distance(1.0, 0.0)
+
+
+class TestCycleResidual:
+    def test_zero_on_consistent_input(self, wavelength):
+        delta_d = 0.37
+        delta_phi = 2 * np.pi * (2.0 * delta_d / wavelength - 3)  # k = 3
+        assert cycle_residual(delta_d, delta_phi, wavelength) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_locked_k(self, wavelength):
+        delta_d = 0.37
+        delta_phi = 2 * np.pi * (2.0 * delta_d / wavelength - 3)
+        assert cycle_residual(
+            delta_d, delta_phi, wavelength, k=3
+        ) == pytest.approx(0.0, abs=1e-9)
+        assert cycle_residual(
+            delta_d, delta_phi, wavelength, k=2
+        ) == pytest.approx(1.0, abs=1e-9)
+
+    @given(
+        st.floats(min_value=-2.0, max_value=2.0),
+        st.floats(min_value=-10.0, max_value=10.0),
+    )
+    @settings(max_examples=200)
+    def test_wrapped_residual_bounded(self, delta_d, delta_phi):
+        residual = cycle_residual(delta_d, delta_phi, 0.325)
+        assert -0.5 - 1e-9 <= residual < 0.5 + 1e-9
+
+
+class TestUnwrap:
+    def test_continuous_series(self):
+        true_phase = np.linspace(0, 20, 200)  # 3+ wraps
+        wrapped = np.mod(true_phase, 2 * np.pi)
+        unwrapped = unwrap_series(wrapped)
+        assert np.allclose(np.diff(unwrapped), np.diff(true_phase), atol=1e-9)
+
+    def test_tolerates_nan_gaps(self):
+        true_phase = np.linspace(0, 12, 100)
+        wrapped = np.mod(true_phase, 2 * np.pi)
+        wrapped[40:43] = np.nan
+        unwrapped = unwrap_series(wrapped)
+        finite = np.isfinite(unwrapped)
+        assert finite.sum() == 97
+        # Slope preserved across the gap.
+        assert unwrapped[50] - unwrapped[30] == pytest.approx(
+            true_phase[50] - true_phase[30], abs=1e-6
+        )
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            unwrap_series(np.zeros((3, 3)))
+
+
+class TestInterpolate:
+    def test_linear_between_samples(self):
+        times = np.array([0.0, 1.0, 2.0])
+        phases = np.array([0.0, 2.0, 4.0])
+        out = interpolate_phase(np.array([0.5, 1.5]), times, phases)
+        assert np.allclose(out, [1.0, 3.0])
+
+    def test_clamps_outside_span(self):
+        times = np.array([0.0, 1.0])
+        phases = np.array([1.0, 3.0])
+        out = interpolate_phase(np.array([-1.0, 2.0]), times, phases)
+        assert np.allclose(out, [1.0, 3.0])
+
+    def test_skips_nan_samples(self):
+        times = np.array([0.0, 1.0, 2.0])
+        phases = np.array([0.0, np.nan, 4.0])
+        out = interpolate_phase(np.array([1.0]), times, phases)
+        assert out[0] == pytest.approx(2.0)
+
+    def test_needs_two_finite(self):
+        with pytest.raises(ValueError):
+            interpolate_phase(
+                np.array([0.5]), np.array([0.0, 1.0]), np.array([np.nan, 1.0])
+            )

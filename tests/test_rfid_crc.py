@@ -1,0 +1,79 @@
+"""Unit and property tests for the Gen2 CRCs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rfid.crc import bits_from_int, crc5, crc16, crc16_bytes, int_from_bits
+
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=128)
+
+
+class TestBitHelpers:
+    def test_round_trip(self):
+        assert int_from_bits(bits_from_int(0xAB, 8)) == 0xAB
+
+    def test_width_enforced(self):
+        with pytest.raises(ValueError):
+            bits_from_int(256, 8)
+        with pytest.raises(ValueError):
+            bits_from_int(-1, 8)
+
+    def test_msb_first(self):
+        assert bits_from_int(0b100, 3) == [1, 0, 0]
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=100)
+    def test_round_trip_property(self, value):
+        assert int_from_bits(bits_from_int(value, 32)) == value
+
+
+class TestCrc16:
+    def test_known_vector_123456789(self):
+        # CRC-16/GENIBUS (poly 0x1021, init 0xFFFF, no reflection,
+        # inverted output): the standard check value for "123456789" is
+        # 0xD64E.
+        data = b"123456789"
+        assert crc16_bytes(data) == 0xD64E
+
+    def test_detects_single_bit_flip(self):
+        bits = bits_from_int(0xDEADBEEF, 32)
+        reference = crc16(bits)
+        for index in range(32):
+            corrupted = list(bits)
+            corrupted[index] ^= 1
+            assert crc16(corrupted) != reference
+
+    @given(bit_lists)
+    @settings(max_examples=100)
+    def test_deterministic(self, bits):
+        assert crc16(bits) == crc16(bits)
+
+    @given(bit_lists)
+    @settings(max_examples=100)
+    def test_sixteen_bits(self, bits):
+        assert 0 <= crc16(bits) <= 0xFFFF
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            crc16([0, 1, 2])
+
+
+class TestCrc5:
+    def test_five_bits(self):
+        assert 0 <= crc5([1, 0, 1, 1, 0, 0, 1]) <= 0b11111
+
+    def test_detects_single_bit_flip(self):
+        bits = bits_from_int(0b110010101101001101011, 21)
+        reference = crc5(bits)
+        flips_detected = sum(
+            crc5([b ^ (1 if i == j else 0) for j, b in enumerate(bits)])
+            != reference
+            for i in range(len(bits))
+        )
+        # CRC-5 detects all single-bit errors.
+        assert flips_detected == len(bits)
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            crc5([2])

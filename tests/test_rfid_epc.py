@@ -1,0 +1,85 @@
+"""Unit and property tests for EPC-96 encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rfid.epc import PARTITION_TABLE, Epc96
+
+
+class TestEncoding:
+    def test_96_bits(self):
+        assert len(Epc96.with_serial(1).to_bits()) == 96
+
+    def test_header_is_sgtin96(self):
+        bits = Epc96.with_serial(5).to_bits()
+        assert bits[:8] == [0, 0, 1, 1, 0, 0, 0, 0]  # 0x30
+
+    def test_hex_is_24_digits(self):
+        assert len(Epc96.with_serial(7).to_hex()) == 24
+
+    def test_distinct_serials_distinct_epcs(self):
+        assert Epc96.with_serial(1).to_hex() != Epc96.with_serial(2).to_hex()
+
+    def test_crc_is_16_bits(self):
+        assert 0 <= Epc96.with_serial(3).crc() <= 0xFFFF
+
+
+class TestDecoding:
+    def test_round_trip(self):
+        original = Epc96(
+            filter_value=3, partition=4, company_prefix=123456,
+            item_reference=654, serial=987654321,
+        )
+        decoded = Epc96.from_bits(original.to_bits())
+        assert decoded == original
+
+    def test_hex_round_trip(self):
+        original = Epc96.with_serial(42)
+        assert Epc96.from_hex(original.to_hex()) == original
+
+    def test_rejects_wrong_header(self):
+        bits = [0] * 96
+        with pytest.raises(ValueError, match="SGTIN-96"):
+            Epc96.from_bits(bits)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            Epc96.from_bits([0] * 95)
+
+
+class TestValidation:
+    def test_partition_range(self):
+        with pytest.raises(ValueError):
+            Epc96(partition=7)
+
+    def test_company_prefix_width(self):
+        company_bits, _ = PARTITION_TABLE[5]
+        with pytest.raises(ValueError):
+            Epc96(partition=5, company_prefix=1 << company_bits)
+
+    def test_serial_width(self):
+        with pytest.raises(ValueError):
+            Epc96(serial=1 << 38)
+
+    def test_filter_width(self):
+        with pytest.raises(ValueError):
+            Epc96(filter_value=8)
+
+
+@given(
+    filter_value=st.integers(0, 7),
+    partition=st.integers(0, 6),
+    serial=st.integers(0, 2**38 - 1),
+)
+@settings(max_examples=100)
+def test_round_trip_property(filter_value, partition, serial):
+    company_bits, item_bits = PARTITION_TABLE[partition]
+    epc = Epc96(
+        filter_value=filter_value,
+        partition=partition,
+        company_prefix=(1 << company_bits) - 1,
+        item_reference=(1 << item_bits) - 1,
+        serial=serial,
+    )
+    assert Epc96.from_bits(epc.to_bits()) == epc

@@ -1,0 +1,120 @@
+"""Unit tests for the Gen2 inventory protocol simulation."""
+
+import numpy as np
+import pytest
+
+from repro.rfid.epc import Epc96
+from repro.rfid.protocol import (
+    COLLISION_SLOT_S,
+    EMPTY_SLOT_S,
+    SUCCESS_SLOT_S,
+    InventoryRound,
+    QAlgorithm,
+    SlotOutcome,
+)
+from repro.rfid.tag import PassiveTag
+
+
+def make_tags(count):
+    return [
+        PassiveTag(Epc96.with_serial(serial), np.array([0.0, 1.0, 0.0]))
+        for serial in range(1, count + 1)
+    ]
+
+
+def strong_power(tags):
+    return {tag.epc.serial: 0.0 for tag in tags}  # 0 dBm ≫ sensitivity
+
+
+class TestInventoryRound:
+    def test_single_tag_singulated(self, rng):
+        tags = make_tags(1)
+        tags[0].reply_probability = 1.0
+        round_ = InventoryRound(q=2, rng=rng)
+        slots, end = round_.run(tags, strong_power(tags), 0.0)
+        outcomes = [s.outcome for s in slots]
+        assert outcomes.count(SlotOutcome.SUCCESS) == 1
+        assert len(slots) == 4
+        assert end > 0.0
+
+    def test_unpowered_tag_silent(self, rng):
+        tags = make_tags(1)
+        round_ = InventoryRound(q=2, rng=rng)
+        slots, _ = round_.run(tags, {tags[0].epc.serial: -50.0}, 0.0)
+        assert all(s.outcome is SlotOutcome.EMPTY for s in slots)
+
+    def test_collisions_happen_with_many_tags(self, rng):
+        tags = make_tags(20)
+        for tag in tags:
+            tag.reply_probability = 1.0
+        round_ = InventoryRound(q=2, rng=rng)  # 4 slots, 20 tags
+        slots, _ = round_.run(tags, strong_power(tags), 0.0)
+        assert any(s.outcome is SlotOutcome.COLLISION for s in slots)
+
+    def test_timing_accumulates(self, rng):
+        tags = make_tags(1)
+        tags[0].reply_probability = 1.0
+        round_ = InventoryRound(q=1, rng=rng)
+        slots, end = round_.run(tags, strong_power(tags), 10.0)
+        expected = sum(s.duration for s in slots)
+        assert end == pytest.approx(10.0 + expected)
+        durations = {
+            SlotOutcome.EMPTY: EMPTY_SLOT_S,
+            SlotOutcome.SUCCESS: SUCCESS_SLOT_S,
+            SlotOutcome.COLLISION: COLLISION_SLOT_S,
+        }
+        for slot in slots:
+            assert slot.duration == durations[slot.outcome]
+
+    def test_q_bounds(self, rng):
+        with pytest.raises(ValueError):
+            InventoryRound(q=-1, rng=rng).run([], {}, 0.0)
+        with pytest.raises(ValueError):
+            InventoryRound(q=16, rng=rng).run([], {}, 0.0)
+
+    def test_all_tags_eventually_read(self, rng):
+        tags = make_tags(8)
+        for tag in tags:
+            tag.reply_probability = 1.0
+        seen = set()
+        clock = 0.0
+        q_algo = QAlgorithm(q_float=3.0)
+        for _ in range(50):
+            slots, clock = InventoryRound(q_algo.q, rng).run(
+                tags, strong_power(tags), clock, q_algo
+            )
+            seen.update(
+                s.tag.epc.serial for s in slots if s.outcome is SlotOutcome.SUCCESS
+            )
+            if len(seen) == 8:
+                break
+        assert len(seen) == 8
+
+
+class TestQAlgorithm:
+    def test_rises_on_collisions(self):
+        q = QAlgorithm(q_float=4.0, step=0.5)
+        q.record(SlotOutcome.COLLISION)
+        assert q.q_float == 4.5
+
+    def test_falls_on_empty(self):
+        q = QAlgorithm(q_float=4.0, step=0.5)
+        q.record(SlotOutcome.EMPTY)
+        assert q.q_float == 3.5
+
+    def test_unchanged_on_success(self):
+        q = QAlgorithm(q_float=4.0)
+        q.record(SlotOutcome.SUCCESS)
+        assert q.q_float == 4.0
+
+    def test_clamped(self):
+        q = QAlgorithm(q_float=0.1, step=0.5)
+        q.record(SlotOutcome.EMPTY)
+        assert q.q_float == 0.0
+        q = QAlgorithm(q_float=14.9, step=0.5)
+        q.record(SlotOutcome.COLLISION)
+        assert q.q_float == 15.0
+
+    def test_integer_q_rounds(self):
+        assert QAlgorithm(q_float=3.4).q == 3
+        assert QAlgorithm(q_float=3.6).q == 4

@@ -1,0 +1,114 @@
+"""Unit tests for the reader simulation."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.antennas import Antenna
+from repro.rf.noise import PhaseNoiseModel
+from repro.rfid.epc import Epc96
+from repro.rfid.reader import PhaseReport, Reader
+from repro.rfid.tag import PassiveTag
+
+
+@pytest.fixture
+def reader(deployment, free_channel):
+    return Reader(
+        1,
+        deployment.antennas_of_reader(1),
+        free_channel,
+        PhaseNoiseModel.noiseless(),
+        dwell_time=0.05,
+    )
+
+
+@pytest.fixture
+def tag():
+    return PassiveTag(Epc96.with_serial(9), np.array([1.3, 2.0, 1.2]))
+
+
+class TestReaderValidation:
+    def test_rejects_foreign_antennas(self, deployment, free_channel):
+        with pytest.raises(ValueError, match="belongs to reader"):
+            Reader(1, deployment.antennas_of_reader(2), free_channel)
+
+    def test_rejects_empty(self, free_channel):
+        with pytest.raises(ValueError):
+            Reader(1, [], free_channel)
+
+    def test_rejects_five_ports(self, free_channel):
+        antennas = [Antenna(i, [i * 0.1, 0, 0], reader_id=1) for i in range(5)]
+        with pytest.raises(ValueError, match="four antenna ports"):
+            Reader(1, antennas, free_channel)
+
+
+class TestInventory:
+    def test_produces_reports_on_all_ports(self, reader, tag, rng):
+        reports = reader.inventory([tag], 2.0, rng)
+        assert len(reports) > 100
+        assert {r.antenna_id for r in reports} == {1, 2, 3, 4}
+
+    def test_reports_chronological_per_port_rotation(self, reader, tag, rng):
+        reports = reader.inventory([tag], 1.0, rng)
+        times = [r.time for r in reports]
+        assert times == sorted(times)
+
+    def test_phase_matches_channel_when_noiseless(
+        self, reader, tag, rng, free_channel
+    ):
+        reports = reader.inventory([tag], 0.5, rng)
+        for report in reports[:10]:
+            antenna = next(
+                a for a in reader.antennas if a.antenna_id == report.antenna_id
+            )
+            expected = float(free_channel.phase_at(antenna.position, tag.position))
+            assert report.phase == pytest.approx(expected, abs=1e-9)
+
+    def test_lo_offset_shifts_phase(self, deployment, free_channel, tag, rng):
+        base = Reader(
+            1, deployment.antennas_of_reader(1), free_channel,
+            PhaseNoiseModel.noiseless(), lo_offset=0.0, dwell_time=0.05,
+        )
+        offset = Reader(
+            1, deployment.antennas_of_reader(1), free_channel,
+            PhaseNoiseModel.noiseless(), lo_offset=1.0, dwell_time=0.05,
+        )
+        r0 = base.inventory([tag], 0.3, np.random.default_rng(5))
+        r1 = offset.inventory([tag], 0.3, np.random.default_rng(5))
+        diff = (r1[0].phase - r0[0].phase) % (2 * np.pi)
+        assert diff == pytest.approx(1.0, abs=1e-9)
+
+    def test_out_of_range_tag_unread(self, reader, rng):
+        far = PassiveTag(Epc96.with_serial(2), np.array([0.0, 30.0, 0.0]))
+        assert reader.inventory([far], 1.0, rng) == []
+
+    def test_moving_tag_uses_position_callback(self, reader, tag, rng):
+        def position_at(serial, when):
+            return np.array([1.0 + 0.1 * when, 2.0, 1.0])
+
+        reports = reader.inventory([tag], 1.0, rng, position_at=position_at)
+        early = [r for r in reports if r.antenna_id == 1][0]
+        late = [r for r in reports if r.antenna_id == 1][-1]
+        assert early.phase != pytest.approx(late.phase, abs=1e-6)
+
+    def test_multiple_tags_distinguished_by_epc(self, reader, rng):
+        tags = [
+            PassiveTag(Epc96.with_serial(s), np.array([1.0 + s * 0.2, 2.0, 1.0]))
+            for s in (1, 2, 3)
+        ]
+        reports = reader.inventory(tags, 2.0, rng)
+        epcs = {r.epc_hex for r in reports}
+        assert len(epcs) == 3
+
+    def test_duration_respected(self, reader, tag, rng):
+        reports = reader.inventory([tag], 0.5, rng, start_time=10.0)
+        assert all(10.0 <= r.time <= 10.5 + 0.01 for r in reports)
+
+    def test_rejects_nonpositive_duration(self, reader, tag, rng):
+        with pytest.raises(ValueError):
+            reader.inventory([tag], 0.0, rng)
+
+
+class TestPhaseReport:
+    def test_rejects_unwrapped_phase(self):
+        with pytest.raises(ValueError):
+            PhaseReport(0.0, "AA", 1, 1, 7.0, -60.0)

@@ -1,0 +1,175 @@
+"""Unit tests for measurement sampling and pair-series construction."""
+
+import numpy as np
+import pytest
+
+from repro.rf.noise import PhaseNoiseModel
+from repro.rfid.epc import Epc96
+from repro.rfid.reader import PhaseReport, Reader
+from repro.rfid.sampling import (
+    MeasurementLog,
+    PairSeries,
+    PhaseSnapshot,
+    build_antenna_streams,
+    build_pair_series,
+    snapshot_at,
+)
+from repro.rfid.tag import PassiveTag
+
+
+def report(time, antenna_id, phase, epc="A" * 24, reader_id=1):
+    return PhaseReport(time, epc, reader_id, antenna_id, phase % (2 * np.pi), -60.0)
+
+
+class TestMeasurementLog:
+    def test_sorted_on_construction(self):
+        log = MeasurementLog([report(2.0, 1, 0.5), report(1.0, 1, 0.4)])
+        assert [r.time for r in log.reports] == [1.0, 2.0]
+
+    def test_extend_keeps_sorted(self):
+        log = MeasurementLog([report(2.0, 1, 0.5)])
+        log.extend([report(1.0, 2, 0.1)])
+        assert [r.time for r in log.reports] == [1.0, 2.0]
+
+    def test_antenna_series_filters(self):
+        log = MeasurementLog(
+            [report(0.0, 1, 0.1), report(0.5, 2, 0.2), report(1.0, 1, 0.3)]
+        )
+        times, phases = log.antenna_series(1)
+        assert np.allclose(times, [0.0, 1.0])
+        assert np.allclose(phases, [0.1, 0.3])
+
+    def test_for_tag(self):
+        log = MeasurementLog(
+            [report(0.0, 1, 0.1, epc="B" * 24), report(0.5, 1, 0.2)]
+        )
+        assert len(log.for_tag("B" * 24)) == 1
+
+    def test_read_rate(self):
+        log = MeasurementLog([report(t / 10, 1, 0.0) for t in range(11)])
+        assert log.read_rate() == pytest.approx(11.0, rel=0.01)
+
+    def test_empty_span_raises(self):
+        with pytest.raises(ValueError):
+            MeasurementLog([]).time_span()
+
+
+class TestBuildPairSeries:
+    def make_log(self, deployment, free_channel, rng, duration=2.0):
+        tag = PassiveTag(Epc96.with_serial(4), np.array([1.3, 2.0, 1.2]))
+        reports = []
+        for reader_id in deployment.reader_ids:
+            reader = Reader(
+                reader_id,
+                deployment.antennas_of_reader(reader_id),
+                free_channel,
+                PhaseNoiseModel.noiseless(),
+                dwell_time=0.04,
+            )
+            reports.extend(reader.inventory([tag], duration, rng))
+        return MeasurementLog(reports), tag
+
+    def test_builds_all_12_pairs(self, deployment, free_channel, rng):
+        log, _ = self.make_log(deployment, free_channel, rng)
+        series = build_pair_series(log, deployment, sample_rate=10.0)
+        assert len(series) == 12
+        lengths = {len(s) for s in series}
+        assert len(lengths) == 1  # shared timeline
+
+    def test_static_tag_constant_delta_phi(self, deployment, free_channel, rng):
+        log, tag = self.make_log(deployment, free_channel, rng)
+        series = build_pair_series(log, deployment, sample_rate=10.0)
+        for entry in series:
+            assert np.ptp(entry.delta_phi) < 1e-6
+
+    def test_delta_phi_matches_geometry_mod_2pi(
+        self, deployment, free_channel, rng, wavelength
+    ):
+        log, tag = self.make_log(deployment, free_channel, rng)
+        series = build_pair_series(log, deployment, sample_rate=10.0)
+        for entry in series:
+            expected = (
+                -2 * np.pi * 2.0
+                * (
+                    entry.pair.second.distance_to(tag.position)
+                    - entry.pair.first.distance_to(tag.position)
+                )
+                / wavelength
+            )
+            residual = (entry.delta_phi[0] - expected) / (2 * np.pi)
+            assert abs(residual - round(residual)) < 1e-6
+
+    def test_multi_tag_requires_epc(self, deployment, free_channel, rng):
+        log, _ = self.make_log(deployment, free_channel, rng)
+        other = PhaseReport(0.5, "C" * 24, 1, 1, 0.1, -60.0)
+        log.extend([other])
+        with pytest.raises(ValueError, match="pass epc_hex"):
+            build_pair_series(log, deployment)
+
+    def test_dead_antenna_drops_its_pairs(self, deployment, free_channel, rng):
+        log, _ = self.make_log(deployment, free_channel, rng)
+        filtered = MeasurementLog(
+            [r for r in log.reports if r.antenna_id != 1]
+        )
+        series = build_pair_series(filtered, deployment, sample_rate=10.0)
+        assert len(series) == 9  # antenna 1's three pairs dropped
+        assert all(1 not in entry.pair.ids for entry in series)
+
+
+class TestSnapshot:
+    def test_snapshot_wrapped(self):
+        pair_series = []
+        times = np.array([0.0, 1.0])
+        # Fabricate series with out-of-range delta_phi; snapshot must wrap.
+        from repro.geometry.antennas import Antenna, AntennaPair
+
+        pair = AntennaPair(
+            Antenna(1, [0, 0, 0], reader_id=1),
+            Antenna(2, [0.1, 0, 0], reader_id=1),
+        )
+        pair_series.append(PairSeries(pair, times, np.array([7.0, 7.1])))
+        snap = snapshot_at(pair_series, 0)
+        assert -np.pi < snap.delta_phi[0] <= np.pi
+
+    def test_snapshot_index_bounds(self, deployment, free_channel, rng):
+        from repro.geometry.antennas import Antenna, AntennaPair
+
+        pair = AntennaPair(
+            Antenna(1, [0, 0, 0], reader_id=1),
+            Antenna(2, [0.1, 0, 0], reader_id=1),
+        )
+        series = [PairSeries(pair, np.array([0.0, 1.0]), np.array([0.0, 0.1]))]
+        with pytest.raises(IndexError):
+            snapshot_at(series, 5)
+
+    def test_subset(self, deployment):
+        pairs = deployment.pairs()
+        snap = PhaseSnapshot(pairs, np.arange(len(pairs), dtype=float))
+        tight = snap.subset(deployment.pairs(reader_id=2))
+        assert len(tight.pairs) == 6
+        assert all(pair.reader_id == 2 for pair in tight.pairs)
+
+
+class TestAntennaStreams:
+    def test_streams_cover_all_requested(self, deployment, free_channel, rng):
+        tag = PassiveTag(Epc96.with_serial(4), np.array([1.3, 2.0, 1.2]))
+        reader = Reader(
+            1, deployment.antennas_of_reader(1), free_channel,
+            PhaseNoiseModel.noiseless(), dwell_time=0.04,
+        )
+        log = MeasurementLog(reader.inventory([tag], 2.0, rng))
+        timeline, streams = build_antenna_streams(
+            log, [1, 2, 3, 4], sample_rate=10.0
+        )
+        assert set(streams) == {1, 2, 3, 4}
+        assert all(s.shape == timeline.shape for s in streams.values())
+
+    def test_missing_antenna_raises(self, deployment, free_channel, rng):
+        tag = PassiveTag(Epc96.with_serial(4), np.array([1.3, 2.0, 1.2]))
+        reader = Reader(
+            1, deployment.antennas_of_reader(1), free_channel,
+            PhaseNoiseModel.noiseless(), dwell_time=0.04,
+        )
+        log = MeasurementLog(reader.inventory([tag], 1.0, rng))
+        with pytest.raises(ValueError, match="antenna 7"):
+            build_antenna_streams(log, [1, 7])

@@ -1,0 +1,65 @@
+"""Tests for the WiFi-band extension (paper section 9.3)."""
+
+import numpy as np
+import pytest
+
+from repro.motion.gestures import circle, swipe
+from repro.wifi import WIFI_5GHZ_FREQUENCY, WifiTracker, wifi_layout, wifi_wavelength
+
+
+class TestWifiGeometry:
+    def test_wavelength_band(self):
+        assert 0.05 < wifi_wavelength() < 0.06
+
+    def test_layout_scales_with_band(self):
+        deployment = wifi_layout()
+        side = deployment.pair(1, 2).separation
+        # 8λ at 5.18 GHz ≈ 46 cm: a faceplate-sized constellation.
+        assert side == pytest.approx(8 * wifi_wavelength(), rel=1e-9)
+        assert side < 0.5
+
+    def test_tight_pairs_at_half_wavelength_one_way(self):
+        deployment = wifi_layout()
+        assert deployment.pair(5, 6).separation == pytest.approx(
+            wifi_wavelength() / 2
+        )
+
+
+class TestWifiTracking:
+    @pytest.fixture(scope="class")
+    def tracker(self):
+        return WifiTracker()
+
+    def test_circle_gesture_traced(self, tracker):
+        times, points = circle((0.2, 0.25), 0.04, speed=0.1)
+        rng = np.random.default_rng(11)
+        series = tracker.observe(points, times, rng)
+        result = tracker.reconstruct(series)
+        truth = np.stack(
+            [
+                np.interp(result.times, times, points[:, 0]),
+                np.interp(result.times, times, points[:, 1]),
+            ],
+            axis=1,
+        )
+        shifted = result.trajectory - (result.trajectory[0] - truth[0])
+        shape_error = np.linalg.norm(shifted - truth, axis=1)
+        # Centimetre-scale at 5 GHz: the band shrinks both λ and errors.
+        assert np.median(shape_error) < 0.03
+
+    def test_swipe_traced(self, tracker):
+        times, points = swipe((0.08, 0.2), (0.35, 0.2), speed=0.2)
+        rng = np.random.default_rng(12)
+        series = tracker.observe(points, times, rng)
+        result = tracker.reconstruct(series)
+        # Swipe direction and extent recovered.
+        du = result.trajectory[-1, 0] - result.trajectory[0, 0]
+        assert du == pytest.approx(0.27, abs=0.05)
+
+    def test_pair_count(self, tracker):
+        times, points = swipe((0.1, 0.2), (0.3, 0.2))
+        series = tracker.observe(points, times, np.random.default_rng(0))
+        assert len(series) == 12
+
+    def test_one_way_round_trip_factor(self, tracker):
+        assert tracker.system.round_trip == 1.0
