@@ -1,0 +1,264 @@
+"""Performance regression harness for the vectorized engine.
+
+Times the two hot operations the engine replaced — Eq. 7 voting over the
+positioner's fine grid, and a full ``RFIDrawSystem.reconstruct`` of the
+fig10 "clear" word — against faithful replicas of the seed (pre-engine)
+implementation, and records machine-readable results in
+``BENCH_engine.json`` at the repo root so future PRs can track the
+trajectory:
+
+    [{"op": ..., "wall_seconds": ..., "wall_seconds_legacy": ...,
+      "speedup": ...}, ...]
+
+The asserted floors are deliberately below the measured speedups
+(≈13× votes, ≈10× reconstruct on the dev box) so noisy CI hardware does
+not flake, while still catching a real regression to the seed's
+per-pair/per-step behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from repro.core.engine import PairBank
+from repro.core.positioning import MultiResolutionPositioner, PositionCandidate
+from repro.core.tracing import TrajectoryTracer
+from repro.core.voting import total_votes_reference
+from repro.experiments.scenarios import ScenarioConfig, simulate_word
+from repro.rf.phase import cycle_residual
+from repro.rfid.sampling import snapshot_at
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+_TWO_PI = 2.0 * np.pi
+
+
+# ----------------------------------------------------------------------
+# Seed-implementation replicas (the pre-engine code paths, verbatim in
+# behaviour: per-pair Python loops and per-step scipy solves).
+# ----------------------------------------------------------------------
+class _SeedPositioner(MultiResolutionPositioner):
+    """The seed's positioner: per-pair vote loops, per-pair refine."""
+
+    def coarse_region(self, snapshot):
+        cfg = self.config
+        unique_beam, _, _ = self.split_pairs(snapshot)
+        pairs = [snapshot.pairs[i] for i in unique_beam]
+        phis = snapshot.delta_phi[unique_beam]
+        coarse_points, us, vs = self.plane.grid(
+            cfg.u_range, cfg.v_range, cfg.coarse_step
+        )
+        votes = total_votes_reference(
+            pairs, phis, coarse_points, self.wavelength, self.round_trip
+        )
+        keep = votes >= votes.max() - cfg.coarse_margin
+        ratio = max(1, int(round(cfg.coarse_step / cfg.fine_step)))
+        offsets = (np.arange(ratio) - (ratio - 1) / 2.0) * cfg.fine_step
+        uu, vv = np.meshgrid(us, vs)
+        survivors = np.stack([uu.ravel()[keep], vv.ravel()[keep]], axis=1)
+        du, dv = np.meshgrid(offsets, offsets)
+        cell = np.stack([du.ravel(), dv.ravel()], axis=1)
+        fine_uv = (
+            survivors[:, np.newaxis, :] + cell[np.newaxis, :, :]
+        ).reshape(-1, 2)
+        return self.plane.to_world(fine_uv)
+
+    def candidates(self, snapshot, count=None):
+        cfg = self.config
+        count = cfg.candidate_count if count is None else count
+        unique_beam, other_filter, resolution = self.split_pairs(snapshot)
+        fine_points = self.coarse_region(snapshot)
+
+        filter_indices = unique_beam + other_filter
+        filter_pairs = [snapshot.pairs[i] for i in filter_indices]
+        filter_votes = total_votes_reference(
+            filter_pairs,
+            snapshot.delta_phi[filter_indices],
+            fine_points,
+            self.wavelength,
+            self.round_trip,
+        )
+        keep = filter_votes >= filter_votes.max() - cfg.fine_margin
+        fine_points = fine_points[keep]
+        filter_votes = filter_votes[keep]
+
+        res_pairs = [snapshot.pairs[i] for i in resolution]
+        votes = filter_votes + total_votes_reference(
+            res_pairs,
+            snapshot.delta_phi[resolution],
+            fine_points,
+            self.wavelength,
+            self.round_trip,
+        )
+
+        order = np.argsort(votes)[::-1]
+        picked = []
+        plane_uv = self.plane.to_plane(fine_points)
+        for index in order:
+            point = plane_uv[index]
+            if any(
+                np.linalg.norm(point - chosen.position)
+                < cfg.min_candidate_separation
+                for chosen in picked
+            ):
+                continue
+            candidate = PositionCandidate(point, float(votes[index]))
+            if cfg.refine_candidates:
+                candidate = self._refine_seed(
+                    candidate, snapshot.pairs, snapshot.delta_phi
+                )
+            picked.append(candidate)
+            if len(picked) >= count:
+                break
+        return picked
+
+    def _refine_seed(self, candidate, pairs, delta_phis):
+        start_world = self.plane.to_world(candidate.position)
+        locks = [
+            int(
+                np.round(
+                    self.round_trip * pair.path_difference(start_world)
+                    / self.wavelength
+                    - float(phi) / _TWO_PI
+                )
+            )
+            for pair, phi in zip(pairs, delta_phis)
+        ]
+
+        def residuals(uv):
+            world = self.plane.to_world(uv)
+            return np.array(
+                [
+                    cycle_residual(
+                        pair.path_difference(world),
+                        float(phi),
+                        self.wavelength,
+                        self.round_trip,
+                        k=lock,
+                    )
+                    for pair, phi, lock in zip(pairs, delta_phis, locks)
+                ]
+            )
+
+        solution = least_squares(
+            residuals, candidate.position, method="lm", xtol=1e-10, ftol=1e-10
+        )
+        return PositionCandidate(solution.x, float(-np.sum(solution.fun**2)))
+
+
+def _seed_reconstruct(run, series):
+    """The seed pipeline: legacy positioner + one scipy trace per candidate."""
+    system = run.system
+    positioner = _SeedPositioner(
+        system.deployment,
+        system.plane,
+        system.wavelength,
+        system.round_trip,
+        system.positioner.config,
+    )
+    tracer = TrajectoryTracer(system.plane, system.wavelength, system.round_trip)
+    snapshot = snapshot_at(series, index=0)
+    candidates = positioner.candidates(snapshot)
+    traces = [tracer.trace(series, c.position) for c in candidates]
+    chosen = int(np.argmax([trace.total_vote for trace in traces]))
+    return candidates, traces, chosen
+
+
+def _timed(fn, repeats=1):
+    best = np.inf
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return value, best
+
+
+def test_engine_perf_regression():
+    results = []
+
+    # ------------------------------------------------------------------
+    # Workload: the fig10 microbenchmark word ("clear", 2 m, LOS).
+    # ------------------------------------------------------------------
+    run = simulate_word(
+        "clear",
+        user=0,
+        seed=7,
+        config=ScenarioConfig(distance=2.0, los=True),
+        run_baseline=False,
+    )
+    series = run.rfidraw_series
+    system = run.system
+    snapshot = snapshot_at(series, index=0)
+
+    # ------------------------------------------------------------------
+    # Op 1: total votes over the positioner's fine grid.
+    # ------------------------------------------------------------------
+    cfg = system.positioner.config
+    fine_points, _, _ = system.plane.grid(
+        cfg.u_range, cfg.v_range, cfg.fine_step
+    )
+    bank = PairBank(snapshot.pairs)
+    engine_votes, engine_s = _timed(
+        lambda: bank.total_votes(
+            snapshot.delta_phi, fine_points, system.wavelength
+        ),
+        repeats=3,
+    )
+    legacy_votes, legacy_s = _timed(
+        lambda: total_votes_reference(
+            snapshot.pairs, snapshot.delta_phi, fine_points, system.wavelength
+        ),
+        repeats=2,
+    )
+    assert np.abs(engine_votes - legacy_votes).max() < 1e-9
+    results.append(
+        {
+            "op": "total_votes_fine_grid",
+            "points": int(fine_points.shape[0]),
+            "pairs": len(snapshot.pairs),
+            "wall_seconds": engine_s,
+            "wall_seconds_legacy": legacy_s,
+            "speedup": legacy_s / engine_s,
+        }
+    )
+
+    # ------------------------------------------------------------------
+    # Op 2: full reconstruct of one word.
+    # ------------------------------------------------------------------
+    engine_result, engine_s = _timed(lambda: system.reconstruct(series))
+    (_, seed_traces, seed_chosen), legacy_s = _timed(
+        lambda: _seed_reconstruct(run, series)
+    )
+    # Same winning candidate, same trajectory (within solver tolerance).
+    assert engine_result.chosen_index == seed_chosen
+    gap = np.linalg.norm(
+        engine_result.trajectory - seed_traces[seed_chosen].positions, axis=1
+    ).max()
+    assert gap < 1e-4
+    results.append(
+        {
+            "op": "reconstruct_fig10_clear",
+            "samples": len(series[0]),
+            "pairs": len(series),
+            "candidates": len(engine_result.candidates),
+            "wall_seconds": engine_s,
+            "wall_seconds_legacy": legacy_s,
+            "speedup": legacy_s / engine_s,
+        }
+    )
+
+    BENCH_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    # Conservative floors (measured ≈13× and ≈10× respectively). This
+    # test is collected by the tier-1 command, so the floors are set low
+    # enough that even a throttled shared CI runner clears them; the
+    # real measured numbers are what BENCH_engine.json records.
+    by_op = {entry["op"]: entry for entry in results}
+    assert by_op["total_votes_fine_grid"]["speedup"] >= 2.0
+    assert by_op["reconstruct_fig10_clear"]["speedup"] >= 2.0

@@ -56,7 +56,9 @@ from repro.rf import (
     wavelength_of,
 )
 from repro.core import (
+    BatchedTracer,
     MultiResolutionPositioner,
+    PairBank,
     PositionCandidate,
     RFIDrawSystem,
     TraceResult,
@@ -77,7 +79,9 @@ __all__ = [
     "Environment",
     "PhaseNoiseModel",
     "wavelength_of",
+    "BatchedTracer",
     "MultiResolutionPositioner",
+    "PairBank",
     "PositionCandidate",
     "RFIDrawSystem",
     "TraceResult",

@@ -1,16 +1,25 @@
 """RF-IDraw's core algorithms (paper sections 3–5).
 
+* :mod:`repro.core.engine` — the vectorized compute engine
+  (:class:`PairBank` batched votes, :class:`BatchedTracer` batched
+  lobe-locked tracing); the hot path everything below routes through.
 * :mod:`repro.core.voting` — the antenna-pair vote of Eq. 6/7.
 * :mod:`repro.core.positioning` — the two-stage multi-resolution
   positioning algorithm (section 5.1).
 * :mod:`repro.core.tracing` — the grating-lobe trajectory tracing
-  algorithm (section 5.2), in both least-squares and paper-faithful
-  grid-search forms.
+  algorithm (section 5.2); scipy and paper-faithful grid-search
+  reference forms of the engine's batched tracer.
 * :mod:`repro.core.pipeline` — :class:`RFIDrawSystem`, the end-to-end
   facade from phase series to a chosen trajectory.
 """
 
-from repro.core.voting import VoteMap, pair_votes, total_votes
+from repro.core.engine import BatchedTracer, PairBank, batched_lock_lobes
+from repro.core.voting import (
+    VoteMap,
+    pair_votes,
+    total_votes,
+    total_votes_reference,
+)
 from repro.core.positioning import (
     MultiResolutionPositioner,
     PositionCandidate,
@@ -26,9 +35,13 @@ from repro.core.tracing import (
 from repro.core.pipeline import ReconstructionResult, RFIDrawSystem
 
 __all__ = [
+    "BatchedTracer",
+    "PairBank",
+    "batched_lock_lobes",
     "VoteMap",
     "pair_votes",
     "total_votes",
+    "total_votes_reference",
     "MultiResolutionPositioner",
     "PositionCandidate",
     "PositionerConfig",

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.engine import BatchedTracer
 from repro.geometry.antennas import Deployment
 from repro.geometry.plane import WritingPlane
 from repro.rf.constants import DEFAULT_WAVELENGTH
@@ -23,7 +24,7 @@ from repro.core.positioning import (
     PositionCandidate,
     PositionerConfig,
 )
-from repro.core.tracing import TraceResult, TracerConfig, TrajectoryTracer
+from repro.core.tracing import TraceResult, TracerConfig
 from repro.rfid.sampling import PairSeries, snapshot_at
 
 __all__ = ["ReconstructionResult", "RFIDrawSystem"]
@@ -95,7 +96,12 @@ class RFIDrawSystem:
             round_trip,
             positioner_config,
         )
-        self.tracer = TrajectoryTracer(plane, wavelength, round_trip, tracer_config)
+        # The vectorized engine tracer: advances every candidate
+        # trajectory simultaneously. Swap in a
+        # :class:`repro.core.tracing.TrajectoryTracer` (scipy) or
+        # :class:`repro.core.tracing.GridTracer` here to cross-check
+        # against the reference implementations.
+        self.tracer = BatchedTracer(plane, wavelength, round_trip, tracer_config)
 
     def reconstruct(
         self,
@@ -118,10 +124,11 @@ class RFIDrawSystem:
         candidates = self.positioner.candidates(snapshot, candidate_count)
         if not candidates:
             raise ValueError("the positioner produced no candidates")
-        traces = [
-            self.tracer.trace(series, candidate.position)
-            for candidate in candidates
-        ]
+        # Every tracer exposes trace_all; the engine's BatchedTracer
+        # advances all candidates in one solve, the reference tracers
+        # loop per candidate.
+        starts = np.stack([candidate.position for candidate in candidates])
+        traces = self.tracer.trace_all(series, starts)
         # Selection follows the paper: the trajectory whose summed vote
         # across all points is highest wins. (TraceResult also exposes a
         # bias-compensated `coherence_vote` diagnostic; on this simulator

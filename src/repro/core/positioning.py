@@ -20,12 +20,11 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import least_squares
 
-from repro.geometry.antennas import AntennaPair, Deployment
+from repro.core.engine import PairBank, batched_lock_lobes
+from repro.geometry.antennas import Deployment
 from repro.geometry.layouts import TIGHT_READER, WIDE_READER
 from repro.geometry.plane import WritingPlane
 from repro.rf.constants import DEFAULT_WAVELENGTH
-from repro.rf.phase import cycle_residual
-from repro.core.voting import total_votes
 from repro.rfid.sampling import PhaseSnapshot
 
 __all__ = ["PositionCandidate", "PositionerConfig", "MultiResolutionPositioner"]
@@ -152,8 +151,8 @@ class MultiResolutionPositioner:
         coarse_points, us, vs = self.plane.grid(
             cfg.u_range, cfg.v_range, cfg.coarse_step
         )
-        votes = total_votes(
-            pairs, phis, coarse_points, self.wavelength, self.round_trip
+        votes = PairBank(pairs).total_votes(
+            phis, coarse_points, self.wavelength, self.round_trip
         )
         keep = votes >= votes.max() - cfg.coarse_margin
 
@@ -184,8 +183,7 @@ class MultiResolutionPositioner:
         # Stage 1b: refine the region with the remaining filter pairs.
         filter_indices = unique_beam + other_filter
         filter_pairs = [snapshot.pairs[i] for i in filter_indices]
-        filter_votes = total_votes(
-            filter_pairs,
+        filter_votes = PairBank(filter_pairs).total_votes(
             snapshot.delta_phi[filter_indices],
             fine_points,
             self.wavelength,
@@ -197,8 +195,7 @@ class MultiResolutionPositioner:
 
         # Stage 2: add the high-resolution pairs' votes.
         res_pairs = [snapshot.pairs[i] for i in resolution]
-        votes = filter_votes + total_votes(
-            res_pairs,
+        votes = filter_votes + PairBank(res_pairs).total_votes(
             snapshot.delta_phi[resolution],
             fine_points,
             self.wavelength,
@@ -208,7 +205,8 @@ class MultiResolutionPositioner:
         order = np.argsort(votes)[::-1]
         picked: list[PositionCandidate] = []
         plane_uv = self.plane.to_plane(fine_points)
-        all_pairs = snapshot.pairs
+        # One bank over every pair, shared by all candidate refinements.
+        refine_bank = PairBank(snapshot.pairs) if cfg.refine_candidates else None
         for index in order:
             point = plane_uv[index]
             if any(
@@ -218,8 +216,10 @@ class MultiResolutionPositioner:
             ):
                 continue
             candidate = PositionCandidate(point, float(votes[index]))
-            if cfg.refine_candidates:
-                candidate = self._refine(candidate, all_pairs, snapshot.delta_phi)
+            if refine_bank is not None:
+                candidate = self._refine(
+                    candidate, refine_bank, snapshot.delta_phi
+                )
             picked.append(candidate)
             if len(picked) >= count:
                 break
@@ -236,35 +236,27 @@ class MultiResolutionPositioner:
     def _refine(
         self,
         candidate: PositionCandidate,
-        pairs: list[AntennaPair],
+        bank: PairBank,
         delta_phis: np.ndarray,
     ) -> PositionCandidate:
-        """Polish a grid candidate by lobe-locked least squares."""
+        """Polish a grid candidate by lobe-locked least squares.
+
+        The residual vector is evaluated through the engine's
+        :class:`PairBank` — one distance-matrix evaluation per solver
+        callback instead of a per-pair Python list comprehension.
+        """
+        scale = self.round_trip / self.wavelength
+        shift = np.asarray(delta_phis, dtype=float) / (2.0 * np.pi)
         start_world = self.plane.to_world(candidate.position)
-        locks = [
-            int(
-                np.round(
-                    self.round_trip * pair.path_difference(start_world)
-                    / self.wavelength
-                    - float(phi) / (2.0 * np.pi)
-                )
-            )
-            for pair, phi in zip(pairs, delta_phis)
-        ]
+        locks = batched_lock_lobes(
+            bank, delta_phis, start_world, self.wavelength, self.round_trip
+        )[0]
+        targets = shift + locks
 
         def residuals(uv: np.ndarray) -> np.ndarray:
             world = self.plane.to_world(uv)
-            return np.array(
-                [
-                    cycle_residual(
-                        pair.path_difference(world),
-                        float(phi),
-                        self.wavelength,
-                        self.round_trip,
-                        k=lock,
-                    )
-                    for pair, phi, lock in zip(pairs, delta_phis, locks)
-                ]
+            return (
+                scale * bank.path_differences(world[np.newaxis, :])[0] - targets
             )
 
         solution = least_squares(

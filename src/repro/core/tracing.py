@@ -13,11 +13,17 @@ Given a candidate initial position, the tracer:
    intersecting as the tag moves, so the wrong candidate's vote decays —
    which is how the best initial position is selected (section 7.2).
 
-Two tracker implementations are provided: :class:`TrajectoryTracer`
-(Gauss–Newton via ``scipy.optimize.least_squares``, the default) and
-:class:`GridTracer` (the paper's literal "evaluate votes in the vicinity"
-local grid search). They optimise the same objective; the grid form exists
-as an executable specification and cross-check.
+Three tracker implementations optimise the same objective:
+
+* :class:`repro.core.engine.BatchedTracer` — the production tracer. It
+  advances *all* candidate trajectories simultaneously with a closed-form
+  damped Gauss–Newton loop (no per-step scipy calls) and is what
+  :class:`repro.core.pipeline.RFIDrawSystem` uses.
+* :class:`TrajectoryTracer` — the scipy reference (one
+  ``least_squares`` solve per time step). Kept as an executable
+  specification; the batched tracer must match it to sub-0.1 mm.
+* :class:`GridTracer` — the paper's literal "evaluate votes in the
+  vicinity" local grid search, the slowest and most literal cross-check.
 """
 
 from __future__ import annotations
@@ -27,10 +33,10 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import least_squares
 
+from repro.core.engine import PairBank
 from repro.geometry.antennas import AntennaPair
 from repro.geometry.plane import WritingPlane
 from repro.rf.constants import DEFAULT_WAVELENGTH
-from repro.core.voting import total_votes
 from repro.rfid.sampling import PairSeries
 
 __all__ = [
@@ -139,7 +145,14 @@ class TraceResult:
 
 
 class TrajectoryTracer:
-    """Least-squares lobe-locked tracer (the production implementation)."""
+    """Lobe-locked tracer via per-step ``scipy.optimize.least_squares``.
+
+    Reference implementation: the vectorized
+    :class:`repro.core.engine.BatchedTracer` optimises the same
+    objective without per-step scipy calls and is what the pipeline
+    uses; this class remains the executable specification it is
+    cross-checked against.
+    """
 
     def __init__(
         self,
@@ -192,14 +205,24 @@ class TrajectoryTracer:
         # Locked residuals along the solved path, for the coherence vote.
         world = self.plane.to_world(positions)
         scale = self.round_trip / self.wavelength
-        residuals = np.empty((len(pairs), steps))
-        for index, pair in enumerate(pairs):
-            d_first = pair.first.distance_to(world)
-            d_second = pair.second.distance_to(world)
-            residuals[index] = scale * (d_first - d_second) - targets[index]
+        path_diffs = PairBank(pairs).path_differences(world)  # (T, P)
+        residuals = scale * path_diffs.T - targets
         return TraceResult(
             positions, votes, locks, start_position.copy(), residuals
         )
+
+    def trace_all(
+        self, series: list[PairSeries], start_positions: np.ndarray
+    ) -> list[TraceResult]:
+        """Trace each candidate in turn (uniform tracer interface).
+
+        The engine's :class:`repro.core.engine.BatchedTracer` solves all
+        candidates simultaneously; the reference tracers provide the
+        same signature by looping, so the pipeline needs no per-tracer
+        dispatch.
+        """
+        starts = np.atleast_2d(np.asarray(start_positions, dtype=float))
+        return [self.trace(series, start) for start in starts]
 
     # ------------------------------------------------------------------
     def _solve_step(
@@ -282,7 +305,7 @@ class GridTracer:
         locks = lock_lobes(
             series, start_world, self.wavelength, self.round_trip, index=0
         )
-        pairs = [entry.pair for entry in series]
+        bank = PairBank.from_series(series)  # built once, reused every step
         delta = np.stack([entry.delta_phi for entry in series])
 
         offsets = np.arange(-self.radius, self.radius + self.step / 2, self.step)
@@ -295,8 +318,7 @@ class GridTracer:
         for step_index in range(steps):
             neighbourhood = current + cell
             world = self.plane.to_world(neighbourhood)
-            vote_values = total_votes(
-                pairs,
+            vote_values = bank.total_votes(
                 delta[:, step_index],
                 world,
                 self.wavelength,
@@ -308,6 +330,9 @@ class GridTracer:
             positions[step_index] = current
             votes[step_index] = float(vote_values[best])
         return TraceResult(positions, votes, locks, start_position.copy())
+
+    # Uniform tracer interface (see TrajectoryTracer.trace_all).
+    trace_all = TrajectoryTracer.trace_all
 
 
 def _check_series(series: list[PairSeries]) -> None:

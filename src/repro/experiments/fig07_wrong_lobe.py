@@ -21,7 +21,7 @@ from repro.geometry.layouts import WIDE_READER, rfidraw_layout
 from repro.geometry.plane import writing_plane
 from repro.rf.constants import DEFAULT_WAVELENGTH
 from repro.rf.phase import wrap_to_pi
-from repro.core.tracing import TrajectoryTracer
+from repro.core.engine import BatchedTracer
 from repro.core.voting import vote_map_on_grid
 from repro.rfid.sampling import PairSeries
 from repro.handwriting.generator import HandwritingGenerator, UserStyle
@@ -87,7 +87,7 @@ def run(
     trace = generator.letter_trace(char, origin=(1.3, 1.2))
     series = ideal_series(trace.points, trace.times, distance, wavelength)
     plane = writing_plane(distance)
-    tracer = TrajectoryTracer(plane, wavelength)
+    tracer = BatchedTracer(plane, wavelength)
     truth = trace.points
     start = truth[0]
 
@@ -114,8 +114,16 @@ def run(
     far_stride = max(1, (len(peaks) - near_count) // max(far_count, 1))
     peaks = peaks[:near_count] + peaks[near_count::far_stride][:far_count]
 
-    for position, _vote in peaks:
-        reconstructed = tracer.trace(series, position).positions
+    # All candidate intersections trace in one batched solve.
+    traces = (
+        tracer.trace_all(
+            series, np.stack([position for position, _vote in peaks])
+        )
+        if peaks
+        else []
+    )
+    for trace_result in traces:
+        reconstructed = trace_result.positions
         offset = float(np.linalg.norm(reconstructed[0] - truth[0]))
         aligned = remove_initial_offset(reconstructed, truth)
         shape_errors = np.linalg.norm(aligned - truth, axis=1)

@@ -60,8 +60,11 @@ def run(
     # Panels (b)/(c)/(f): one row per candidate trajectory.
     for index, trace in enumerate(reconstruction.traces):
         errors = trajectory_error_rfidraw(trace.positions, truth)
-        early = float(trace.votes[: len(trace.votes) // 4].mean())
-        late = float(trace.votes[-len(trace.votes) // 4 :].mean())
+        # Traces shorter than 4 samples would make the quarter slices
+        # empty (NaN mean); always average at least one sample.
+        quarter = max(1, len(trace.votes) // 4)
+        early = float(trace.votes[:quarter].mean())
+        late = float(trace.votes[-quarter:].mean())
         result.add_row(
             candidate=index,
             chosen=(index == reconstruction.chosen_index),

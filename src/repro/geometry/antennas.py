@@ -82,6 +82,22 @@ class AntennaPair:
                 "cross-reader antenna pairs are not usable: readers have "
                 "unknown relative LO phase offsets (paper section 3.5)"
             )
+        # Derived geometry is immutable (antennas are frozen), and the
+        # hot loops read `separation`/`baseline`/`midpoint` on every
+        # call — compute each once here instead of per access. The
+        # cached arrays are shared across accesses, so mark them
+        # read-only: mutating the returned array (previously a fresh
+        # copy per access) now raises instead of silently corrupting
+        # the pair's geometry.
+        diff = self.second.position - self.first.position
+        separation = float(np.linalg.norm(diff))
+        baseline = diff / separation
+        midpoint = (self.first.position + self.second.position) / 2.0
+        baseline.setflags(write=False)
+        midpoint.setflags(write=False)
+        object.__setattr__(self, "_separation", separation)
+        object.__setattr__(self, "_baseline", baseline)
+        object.__setattr__(self, "_midpoint", midpoint)
 
     @property
     def reader_id(self) -> int:
@@ -94,17 +110,16 @@ class AntennaPair:
     @property
     def separation(self) -> float:
         """Physical distance between the two antennas, in metres."""
-        return float(np.linalg.norm(self.first.position - self.second.position))
+        return self._separation
 
     @property
     def midpoint(self) -> np.ndarray:
-        return (self.first.position + self.second.position) / 2.0
+        return self._midpoint
 
     @property
     def baseline(self) -> np.ndarray:
         """Unit vector pointing from ``first`` to ``second``."""
-        diff = self.second.position - self.first.position
-        return diff / np.linalg.norm(diff)
+        return self._baseline
 
     def path_difference(self, points) -> np.ndarray:
         """``Δd = d(P, first) − d(P, second)`` for one or many points ``P``."""
@@ -144,6 +159,13 @@ class Deployment:
         ids = [antenna.antenna_id for antenna in self.antennas]
         if len(set(ids)) != len(ids):
             raise ValueError(f"duplicate antenna ids in deployment: {ids}")
+        self._reindex()
+
+    def _reindex(self) -> None:
+        self._index_by_id = {
+            antenna.antenna_id: position
+            for position, antenna in enumerate(self.antennas)
+        }
 
     def __len__(self) -> int:
         return len(self.antennas)
@@ -152,10 +174,22 @@ class Deployment:
         return iter(self.antennas)
 
     def antenna(self, antenna_id: int) -> Antenna:
-        for candidate in self.antennas:
-            if candidate.antenna_id == antenna_id:
-                return candidate
-        raise KeyError(f"no antenna with id {antenna_id}")
+        # `antennas` is a public list, so the id index can go stale if
+        # it is mutated after construction (the linear scan this
+        # replaced tolerated that). An O(1) validation catches every
+        # mutation kind — append, removal, or in-place replacement —
+        # and triggers a rebuild before answering.
+        position = self._index_by_id.get(antenna_id)
+        if (
+            position is None
+            or position >= len(self.antennas)
+            or self.antennas[position].antenna_id != antenna_id
+        ):
+            self._reindex()
+            position = self._index_by_id.get(antenna_id)
+            if position is None:
+                raise KeyError(f"no antenna with id {antenna_id}")
+        return self.antennas[position]
 
     @property
     def reader_ids(self) -> list[int]:

@@ -12,6 +12,7 @@ import numpy as np
 __all__ = [
     "as_point",
     "as_points",
+    "points_view",
     "distances_to",
     "unit",
 ]
@@ -47,6 +48,20 @@ def as_points(values) -> np.ndarray:
     if arr.ndim == 2 and arr.shape[1] == 3:
         return arr.astype(float, copy=True)
     raise ValueError(f"expected (N, 2) or (N, 3) points, got shape {arr.shape}")
+
+
+def points_view(values) -> np.ndarray:
+    """Like :func:`as_points` but without the defensive copy.
+
+    Read-only consumers (the vectorized vote/trace engine) call this on
+    every evaluation; a well-formed ``(N, 3)`` float array passes through
+    untouched, anything else goes through :func:`as_points`. Callers must
+    not mutate the result.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim == 2 and arr.shape[1] == 3:
+        return arr
+    return as_points(arr)
 
 
 def distances_to(origin: np.ndarray, points: np.ndarray) -> np.ndarray:

@@ -1,0 +1,329 @@
+"""Engine-vs-reference equivalence: the vectorized paths must reproduce
+the literal per-pair / per-step implementations they replaced.
+
+* ``PairBank.total_votes`` vs :func:`repro.core.voting.total_votes_reference`
+  to 1e-9 on random grids (free, fully locked, and mixed-lock votes);
+* ``BatchedTracer`` vs the scipy :class:`TrajectoryTracer` within 1e-4 m
+  across three scenarios — an ideal LOS word, a multipath channel, and
+  noisy phases — plus a degenerate single-sample series.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import BatchedTracer, PairBank, batched_lock_lobes
+from repro.core.pipeline import RFIDrawSystem
+from repro.core.tracing import TracerConfig, TrajectoryTracer, lock_lobes
+from repro.core.voting import total_votes, total_votes_reference
+from repro.rfid.sampling import PairSeries
+
+from tests.helpers import ideal_pair_series, ideal_snapshot
+
+
+def word_like_uv(steps=70):
+    t = np.linspace(0, 2 * np.pi, steps)
+    return np.stack(
+        [1.25 + 0.07 * np.cos(3 * t) + 0.025 * t, 1.15 + 0.06 * np.sin(2 * t)],
+        axis=1,
+    )
+
+
+@pytest.fixture
+def snapshot(deployment, plane, wavelength):
+    return ideal_snapshot(deployment, plane, [1.2, 1.3], wavelength)
+
+
+@pytest.fixture
+def random_points(plane, rng):
+    return plane.to_world(rng.uniform(-0.8, 3.2, size=(4000, 2)))
+
+
+class TestPairBankGeometry:
+    def test_distances_match_per_antenna(self, snapshot, random_points):
+        bank = PairBank(snapshot.pairs)
+        distances = bank.distances(random_points)
+        for column, antenna in enumerate(bank.antennas):
+            expected = antenna.distance_to(random_points)
+            assert np.abs(distances[:, column] - expected).max() < 1e-9
+
+    def test_path_differences_match_pairs(self, snapshot, random_points):
+        bank = PairBank(snapshot.pairs)
+        diffs = bank.path_differences(random_points)
+        for column, pair in enumerate(bank.pairs):
+            expected = pair.path_difference(random_points)
+            assert np.abs(diffs[:, column] - expected).max() < 1e-9
+
+    def test_dedupes_shared_antennas(self, deployment, snapshot):
+        bank = PairBank(snapshot.pairs)
+        # 12 same-reader pairs share the deployment's 8 antennas.
+        assert len(bank.pairs) > len(bank.antennas)
+        assert len(bank.antennas) == len(deployment)
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(ValueError):
+            PairBank([])
+
+
+class TestVoteEquivalence:
+    def test_free_votes_match_reference(
+        self, snapshot, random_points, wavelength
+    ):
+        reference = total_votes_reference(
+            snapshot.pairs, snapshot.delta_phi, random_points, wavelength
+        )
+        engine = PairBank(snapshot.pairs).total_votes(
+            snapshot.delta_phi, random_points, wavelength
+        )
+        assert np.abs(reference - engine).max() < 1e-9
+
+    def test_locked_votes_match_reference(
+        self, snapshot, random_points, wavelength, plane
+    ):
+        start = plane.to_world(np.array([1.2, 1.3]))
+        locks = {
+            pair.ids: int(
+                np.round(2.0 * pair.path_difference(start) / wavelength - phi / (2 * np.pi))
+            )
+            for pair, phi in zip(snapshot.pairs, snapshot.delta_phi)
+        }
+        reference = total_votes_reference(
+            snapshot.pairs, snapshot.delta_phi, random_points, wavelength,
+            locks=locks,
+        )
+        engine = PairBank(snapshot.pairs).total_votes(
+            snapshot.delta_phi, random_points, wavelength, locks=locks
+        )
+        assert np.abs(reference - engine).max() < 1e-9
+
+    def test_mixed_locks_match_reference(
+        self, snapshot, random_points, wavelength
+    ):
+        locks = {pair.ids: 1 for pair in snapshot.pairs[::2]}
+        reference = total_votes_reference(
+            snapshot.pairs, snapshot.delta_phi, random_points, wavelength,
+            locks=locks,
+        )
+        engine = PairBank(snapshot.pairs).total_votes(
+            snapshot.delta_phi, random_points, wavelength, locks=locks
+        )
+        assert np.abs(reference - engine).max() < 1e-9
+
+    def test_public_total_votes_is_engine_backed(
+        self, snapshot, random_points, wavelength
+    ):
+        via_api = total_votes(
+            snapshot.pairs, snapshot.delta_phi, random_points, wavelength
+        )
+        reference = total_votes_reference(
+            snapshot.pairs, snapshot.delta_phi, random_points, wavelength
+        )
+        assert np.abs(via_api - reference).max() < 1e-9
+
+    def test_round_trip_one(self, snapshot, random_points, wavelength):
+        reference = total_votes_reference(
+            snapshot.pairs, snapshot.delta_phi, random_points, wavelength,
+            round_trip=1.0,
+        )
+        engine = PairBank(snapshot.pairs).total_votes(
+            snapshot.delta_phi, random_points, wavelength, round_trip=1.0
+        )
+        assert np.abs(reference - engine).max() < 1e-9
+
+    def test_single_point_and_chunk_boundary(
+        self, snapshot, wavelength, plane, rng
+    ):
+        bank = PairBank(snapshot.pairs)
+        for count in (1, PairBank._CHUNK, PairBank._CHUNK + 7):
+            pts = plane.to_world(rng.uniform(0.0, 2.5, size=(count, 2)))
+            reference = total_votes_reference(
+                snapshot.pairs, snapshot.delta_phi, pts, wavelength
+            )
+            engine = bank.total_votes(snapshot.delta_phi, pts, wavelength)
+            assert np.abs(reference - engine).max() < 1e-9
+
+    def test_length_mismatch_rejected(self, snapshot, random_points, wavelength):
+        with pytest.raises(ValueError):
+            PairBank(snapshot.pairs).total_votes(
+                snapshot.delta_phi[:-1], random_points, wavelength
+            )
+
+
+class TestBatchedLockLobes:
+    def test_matches_scalar_lock_lobes(self, deployment, plane, wavelength):
+        uv = word_like_uv()
+        times = np.linspace(0, 3.5, uv.shape[0])
+        series = ideal_pair_series(deployment, plane, uv, times, wavelength)
+        bank = PairBank.from_series(series)
+        starts = np.array([[1.25, 1.15], [1.42, 1.32], [1.0, 0.95]])
+        delta0 = np.array([entry.delta_phi[0] for entry in series])
+        batched = batched_lock_lobes(
+            bank, delta0, plane.to_world(starts), wavelength
+        )
+        for row, start in enumerate(starts):
+            scalar = lock_lobes(series, plane.to_world(start), wavelength)
+            for column, pair in enumerate(bank.pairs):
+                assert int(batched[row, column]) == scalar[pair.ids]
+
+
+def _tracer_pair(plane, wavelength, **config_kwargs):
+    config = TracerConfig(**config_kwargs) if config_kwargs else None
+    return (
+        TrajectoryTracer(plane, wavelength, config=config),
+        BatchedTracer(plane, wavelength, config=config),
+    )
+
+
+def _assert_traces_match(reference, batched, tol=1e-4):
+    __tracebackhide__ = True
+    assert reference.locks == batched.locks
+    gap = np.linalg.norm(reference.positions - batched.positions, axis=1).max()
+    assert gap < tol, f"trajectory gap {gap:.2e} m"
+    assert batched.votes.shape == reference.votes.shape
+    np.testing.assert_allclose(batched.votes, reference.votes, atol=1e-5)
+    np.testing.assert_allclose(
+        batched.residuals, reference.residuals, atol=1e-5
+    )
+
+
+class TestTracerEquivalence:
+    def make_los_series(self, deployment, plane, wavelength):
+        """Scenario 1: ideal line-of-sight word."""
+        uv = word_like_uv()
+        times = np.linspace(0, 3.5, uv.shape[0])
+        return ideal_pair_series(deployment, plane, uv, times, wavelength), uv
+
+    def make_multipath_series(self, deployment, plane, wavelength):
+        """Scenario 2: word observed through a multipath channel."""
+        from repro.rf.channel import BackscatterChannel, Environment
+        from repro.rf.multipath import PointScatterer, WallReflector
+
+        environment = Environment(
+            los_gain=1.0,
+            scatterers=[PointScatterer(position=(-0.8, 1.4, 0.7), gain=0.25)],
+            walls=[
+                WallReflector(
+                    point=(0.0, 0.0, 0.0),
+                    normal=(0.0, 0.0, 1.0),
+                    reflectivity=0.25,
+                )
+            ],
+        )
+        channel = BackscatterChannel(environment, wavelength)
+        uv = word_like_uv()
+        times = np.linspace(0, 3.5, uv.shape[0])
+        world = plane.to_world(uv)
+        series = []
+        for pair in deployment.pairs():
+            phases = [
+                np.unwrap(
+                    np.angle(
+                        channel.round_trip_response(antenna.position, world)
+                    )
+                )
+                for antenna in (pair.first, pair.second)
+            ]
+            series.append(PairSeries(pair, times, phases[1] - phases[0]))
+        return series, uv
+
+    def make_noisy_series(self, deployment, plane, wavelength, rng):
+        """Scenario 3: ideal geometry plus Gaussian phase noise."""
+        uv = word_like_uv()
+        times = np.linspace(0, 3.5, uv.shape[0])
+        series = ideal_pair_series(deployment, plane, uv, times, wavelength)
+        for entry in series:
+            entry.delta_phi = entry.delta_phi + rng.normal(
+                0.0, 0.1, size=entry.delta_phi.shape
+            )
+        return series, uv
+
+    def test_los_word(self, deployment, plane, wavelength):
+        series, uv = self.make_los_series(deployment, plane, wavelength)
+        reference, batched = _tracer_pair(plane, wavelength)
+        starts = [uv[0], uv[0] + np.array([0.17, 0.17])]
+        batch = batched.trace_all(series, np.stack(starts))
+        for start, result in zip(starts, batch):
+            _assert_traces_match(reference.trace(series, start), result)
+
+    def test_multipath_word(self, deployment, plane, wavelength):
+        series, uv = self.make_multipath_series(deployment, plane, wavelength)
+        reference, batched = _tracer_pair(plane, wavelength)
+        starts = [uv[0], uv[0] + np.array([-0.15, 0.12])]
+        batch = batched.trace_all(series, np.stack(starts))
+        for start, result in zip(starts, batch):
+            _assert_traces_match(reference.trace(series, start), result)
+
+    def test_noisy_word(self, deployment, plane, wavelength, rng):
+        series, uv = self.make_noisy_series(deployment, plane, wavelength, rng)
+        reference, batched = _tracer_pair(plane, wavelength)
+        starts = [
+            uv[0],
+            uv[0] + np.array([0.2, -0.1]),
+            uv[0] + np.array([-0.25, 0.2]),
+        ]
+        batch = batched.trace_all(series, np.stack(starts))
+        for start, result in zip(starts, batch):
+            _assert_traces_match(reference.trace(series, start), result)
+
+    @pytest.mark.parametrize("loss", ["linear", "soft_l1", "huber", "cauchy"])
+    def test_all_losses(self, deployment, plane, wavelength, rng, loss):
+        series, uv = self.make_noisy_series(deployment, plane, wavelength, rng)
+        reference, batched = _tracer_pair(plane, wavelength, loss=loss)
+        _assert_traces_match(
+            reference.trace(series, uv[0]), batched.trace(series, uv[0])
+        )
+
+    def test_single_sample_series(self, deployment, plane, wavelength):
+        """Degenerate one-sample timeline still traces (and matches)."""
+        uv = np.array([[1.3, 1.2]])
+        times = np.array([0.0])
+        series = ideal_pair_series(deployment, plane, uv, times, wavelength)
+        reference, batched = _tracer_pair(plane, wavelength)
+        ref_result = reference.trace(series, uv[0])
+        bat_result = batched.trace(series, uv[0])
+        assert len(bat_result) == 1
+        _assert_traces_match(ref_result, bat_result)
+
+    def test_trace_single_start_shape(self, deployment, plane, wavelength):
+        series, uv = self.make_los_series(deployment, plane, wavelength)
+        result = BatchedTracer(plane, wavelength).trace(series, uv[0])
+        assert result.positions.shape == (uv.shape[0], 2)
+        assert result.initial_position.shape == (2,)
+
+    def test_bad_start_shape_rejected(self, deployment, plane, wavelength):
+        series, _ = self.make_los_series(deployment, plane, wavelength)
+        with pytest.raises(ValueError):
+            BatchedTracer(plane, wavelength).trace_all(
+                series, np.zeros((2, 3))
+            )
+
+    def test_empty_series_rejected(self, plane, wavelength):
+        with pytest.raises(ValueError):
+            BatchedTracer(plane, wavelength).trace_all([], np.zeros((1, 2)))
+
+
+class TestPipelineUsesEngine:
+    def test_reconstruct_matches_reference_tracer(
+        self, deployment, plane, wavelength, rng
+    ):
+        """End to end: engine pipeline == scipy pipeline on the same data."""
+        uv = word_like_uv()
+        times = np.linspace(0, 3.5, uv.shape[0])
+        series = ideal_pair_series(deployment, plane, uv, times, wavelength)
+        for entry in series:
+            entry.delta_phi = entry.delta_phi + rng.normal(
+                0.0, 0.06, size=entry.delta_phi.shape
+            )
+
+        engine_system = RFIDrawSystem(deployment, plane, wavelength)
+        assert isinstance(engine_system.tracer, BatchedTracer)
+        engine_result = engine_system.reconstruct(series)
+
+        reference_system = RFIDrawSystem(deployment, plane, wavelength)
+        reference_system.tracer = TrajectoryTracer(plane, wavelength)
+        reference_result = reference_system.reconstruct(series)
+
+        assert engine_result.chosen_index == reference_result.chosen_index
+        gap = np.linalg.norm(
+            engine_result.trajectory - reference_result.trajectory, axis=1
+        ).max()
+        assert gap < 1e-4
