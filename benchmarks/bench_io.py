@@ -1,0 +1,44 @@
+"""Shared I/O for the performance-regression harness.
+
+Several benchmark modules contribute entries to the single committed
+``BENCH_engine.json`` at the repo root. Each entry is keyed by its
+``op`` name; :func:`update_bench` merges fresh measurements into the
+file without clobbering entries owned by other modules, so the suites
+can run in any order (or individually) and the CI regression gate sees
+one consolidated document.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def update_bench(results: list[dict], path: Path = BENCH_PATH) -> None:
+    """Merge ``results`` (keyed by ``op``) into the benchmark JSON."""
+    existing: list[dict] = []
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            existing = []
+    merged = {entry["op"]: entry for entry in existing}
+    for entry in results:
+        merged[entry["op"]] = entry
+    path.write_text(json.dumps(list(merged.values()), indent=2) + "\n")
+
+
+def timed(fn, repeats: int = 1):
+    """Best-of-``repeats`` wall time of ``fn()``; returns (value, seconds)."""
+    best = np.inf
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return value, best

@@ -1,0 +1,120 @@
+"""CI benchmark-regression gate.
+
+Compares a freshly measured ``BENCH_engine.json`` against the committed
+baseline and fails (exit code 1) when any op's ``wall_seconds`` regressed
+by more than the allowed fraction. Ops present in the baseline but
+missing from the fresh run also fail — a silently dropped benchmark is a
+regression of the harness itself. New ops (present only in the fresh
+run) are reported and allowed.
+
+Usage (what ``.github/workflows/ci.yml`` runs)::
+
+    python benchmarks/check_bench_regression.py \
+        --baseline BENCH_engine.committed.json \
+        --fresh BENCH_engine.json \
+        --max-regression 0.30 \
+        --normalize-machine
+
+``--normalize-machine`` divides every fresh wall-time by the median
+fresh/baseline ratio across ops before comparing. A CI runner that is
+uniformly 3× slower than the laptop that committed the baseline then
+compares clean, while any *single* op that regressed relative to the
+others still trips the gate (the median is robust as long as fewer than
+half the ops regress at once). Omit the flag when baseline and fresh
+numbers come from the same machine.
+
+To refresh the committed baseline after an intentional change (or a
+hardware change), run the benchmark suites locally and commit the
+rewritten ``BENCH_engine.json``::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_engine.py \
+        benchmarks/test_perf_channel.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_ops(path: Path) -> dict[str, dict]:
+    entries = json.loads(path.read_text())
+    return {entry["op"]: entry for entry in entries}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed BENCH_engine.json")
+    parser.add_argument("--fresh", type=Path, required=True,
+                        help="freshly measured BENCH_engine.json")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed fractional wall-seconds increase "
+                             "per op (default 0.30 = +30%%)")
+    parser.add_argument("--normalize-machine", action="store_true",
+                        help="divide fresh wall-times by the median "
+                             "fresh/baseline ratio, cancelling a "
+                             "uniformly faster/slower runner")
+    args = parser.parse_args(argv)
+
+    baseline = load_ops(args.baseline)
+    fresh = load_ops(args.fresh)
+    failures = []
+
+    machine_factor = 1.0
+    if args.normalize_machine:
+        ratios = sorted(
+            float(fresh[op]["wall_seconds"]) / float(entry["wall_seconds"])
+            for op, entry in baseline.items()
+            if op in fresh and float(entry["wall_seconds"]) > 0
+        )
+        if ratios:
+            middle = len(ratios) // 2
+            machine_factor = (
+                ratios[middle]
+                if len(ratios) % 2
+                else (ratios[middle - 1] + ratios[middle]) / 2.0
+            )
+            print(f"machine normalization factor: {machine_factor:.3f}\n")
+
+    for op, committed in sorted(baseline.items()):
+        measured = fresh.get(op)
+        if measured is None:
+            failures.append(f"{op}: missing from the fresh run")
+            continue
+        before = float(committed["wall_seconds"])
+        after = float(measured["wall_seconds"]) / machine_factor
+        change = after / before - 1.0
+        status = "REGRESSION" if change > args.max_regression else "ok"
+        print(
+            f"{op:32s} {before * 1e3:10.2f} ms -> {after * 1e3:10.2f} ms "
+            f"({change:+7.1%})  {status}"
+        )
+        if change > args.max_regression:
+            failures.append(
+                f"{op}: {before:.4f}s -> {after:.4f}s "
+                f"({change:+.1%} > +{args.max_regression:.0%})"
+            )
+
+    for op in sorted(set(fresh) - set(baseline)):
+        print(f"{op:32s} (new op, no baseline)")
+
+    if failures:
+        print("\nBenchmark regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print(
+            "\nIf the slowdown is intentional (or the runner hardware "
+            "changed), refresh the baseline by re-running the benchmark "
+            "suites and committing the rewritten BENCH_engine.json.",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nBenchmark regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

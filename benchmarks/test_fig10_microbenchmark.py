@@ -1,6 +1,5 @@
 """Benchmark for the paper's section 7 microbenchmark (Fig. 10)."""
 
-import numpy as np
 
 from repro.experiments import fig10_microbenchmark
 

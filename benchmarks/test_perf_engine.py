@@ -18,10 +18,6 @@ per-pair/per-step behaviour.
 
 from __future__ import annotations
 
-import json
-import time
-from pathlib import Path
-
 import numpy as np
 from scipy.optimize import least_squares
 
@@ -33,7 +29,7 @@ from repro.experiments.scenarios import ScenarioConfig, simulate_word
 from repro.rf.phase import cycle_residual
 from repro.rfid.sampling import snapshot_at
 
-BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+from bench_io import timed as _timed, update_bench
 
 _TWO_PI = 2.0 * np.pi
 
@@ -169,16 +165,6 @@ def _seed_reconstruct(run, series):
     return candidates, traces, chosen
 
 
-def _timed(fn, repeats=1):
-    best = np.inf
-    value = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        value = fn()
-        best = min(best, time.perf_counter() - start)
-    return value, best
-
-
 def test_engine_perf_regression():
     results = []
 
@@ -253,7 +239,7 @@ def test_engine_perf_regression():
         }
     )
 
-    BENCH_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    update_bench(results)
 
     # Conservative floors (measured ≈13× and ≈10× respectively). This
     # test is collected by the tier-1 command, so the floors are set low

@@ -23,7 +23,7 @@ from repro.analysis.metrics import (
     trajectory_error_rfidraw,
 )
 from repro.experiments.harness import ExperimentResult
-from repro.experiments.scenarios import ScenarioConfig, simulate_word
+from repro.experiments.scenarios import ScenarioConfig, WordJob, simulate_words
 from repro.handwriting.corpus import sample_words
 
 __all__ = ["run", "collect_runs", "PAPER"]
@@ -60,18 +60,19 @@ def collect_runs(
     rng = np.random.default_rng(seed)
     chosen = sample_words(words, rng, min_length=2, max_length=8)
     distances = LOS_DISTANCES if los else NLOS_DISTANCES
-    collected = []
-    for index, word in enumerate(chosen):
-        config = ScenarioConfig(
-            distance=distances[index % len(distances)], los=los
-        )
-        run_ = simulate_word(
+    jobs = [
+        WordJob(
             word,
             user=index % users,
             seed=seed * 1_000 + index,
-            config=config,
-            run_baseline=run_baseline,
+            config=ScenarioConfig(
+                distance=distances[index % len(distances)], los=los
+            ),
         )
+        for index, word in enumerate(chosen)
+    ]
+    collected = []
+    for word, run_ in zip(chosen, simulate_words(jobs, run_baseline=run_baseline)):
         reconstruction = run_.rfidraw_result
         truth = run_.truth_on(run_.timeline)
         entry = {

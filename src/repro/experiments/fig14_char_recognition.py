@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.harness import ExperimentResult
-from repro.experiments.scenarios import ScenarioConfig, simulate_word
+from repro.experiments.scenarios import ScenarioConfig, WordJob, simulate_words
 from repro.handwriting.corpus import sample_words
 from repro.handwriting.recognizer import CharacterRecognizer
 
@@ -76,14 +76,16 @@ def run(
             words_per_distance, rng, min_length=3, max_length=7
         )
         rf_correct = rf_total = arr_correct = arr_total = 0
-        for w_index, word in enumerate(words):
-            config = ScenarioConfig(distance=distance, los=True)
-            run_ = simulate_word(
+        jobs = [
+            WordJob(
                 word,
                 user=w_index % 5,
                 seed=seed * 100 + d_index * 10 + w_index,
-                config=config,
+                config=ScenarioConfig(distance=distance, los=True),
             )
+            for w_index, word in enumerate(words)
+        ]
+        for run_ in simulate_words(jobs):
             spans = run_.trace.letter_spans
             reconstruction = run_.rfidraw_result
             c, t = recognize_characters(

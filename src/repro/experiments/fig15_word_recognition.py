@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.harness import ExperimentResult
-from repro.experiments.scenarios import ScenarioConfig, simulate_word
+from repro.experiments.scenarios import ScenarioConfig, WordJob, simulate_words
 from repro.handwriting.corpus import words_by_length
 from repro.handwriting.recognizer import WordRecognizer
 
@@ -53,7 +53,12 @@ def run(
     overall_correct = overall_total = 0
     for l_index, length in enumerate(lengths):
         if length == lengths[-1]:
-            pool = [w for l, ws in grouped.items() if l >= length for w in ws]
+            pool = [
+                w
+                for group_length, ws in grouped.items()
+                if group_length >= length
+                for w in ws
+            ]
         else:
             pool = grouped.get(length, [])
         if not pool:
@@ -65,15 +70,19 @@ def run(
             )
         ]
         rf_correct = arr_correct = 0
-        for w_index, word in enumerate(chosen):
-            config = ScenarioConfig(distance=2.0 + 0.5 * (w_index % 4), los=True)
-            run_ = simulate_word(
+        jobs = [
+            WordJob(
                 word,
                 user=w_index % 5,
                 seed=seed * 100 + l_index * 10 + w_index,
-                config=config,
-                run_baseline=include_baseline,
+                config=ScenarioConfig(
+                    distance=2.0 + 0.5 * (w_index % 4), los=True
+                ),
             )
+            for w_index, word in enumerate(chosen)
+        ]
+        runs = simulate_words(jobs, run_baseline=include_baseline)
+        for word, run_ in zip(chosen, runs):
             prediction = recognizer.classify(run_.rfidraw_result.trajectory)
             rf_correct += prediction == word
             if include_baseline:

@@ -16,7 +16,7 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.shape import procrustes_disparity
 from repro.experiments.harness import ExperimentResult
-from repro.experiments.scenarios import ScenarioConfig, simulate_word
+from repro.experiments.scenarios import ScenarioConfig, WordJob, simulate_words
 from repro.handwriting.recognizer import WordRecognizer
 
 __all__ = ["run", "PAPER"]
@@ -37,7 +37,7 @@ def run(word: str = "play", distance: float = 5.0, seed: int = 16) -> Experiment
         f'Reconstructed trajectories of "{word}" written {distance:.0f} m away',
     )
     config = ScenarioConfig(distance=distance, los=True)
-    run_ = simulate_word(word, user=1, seed=seed, config=config)
+    (run_,) = simulate_words([WordJob(word, user=1, seed=seed, config=config)])
     recognizer = WordRecognizer()
 
     truth = run_.truth_on(run_.timeline)

@@ -12,11 +12,17 @@ was wired (section 6):
 * both systems observing the *same* tag motion through the *same*
   channel, so comparisons are apples-to-apples.
 
-:func:`simulate_word` is the single entry point the figure experiments
-build on.
+:func:`simulate_word` is the single entry point for one writing session;
+:func:`simulate_words` fans an iterable of ``(word, user, seed, config)``
+jobs through shared deployments and channels (optionally on a
+``concurrent.futures`` executor) — the batch entry point the figure
+experiments (fig11/fig14/fig15/fig16) route through.
 """
 
 from __future__ import annotations
+
+import concurrent.futures
+import functools
 
 from dataclasses import dataclass
 from functools import cached_property
@@ -49,9 +55,11 @@ from repro.motion.vicon import GroundTruthTrace, ViconCapture
 __all__ = [
     "ScenarioConfig",
     "SimulationRun",
+    "WordJob",
     "vicon_room_environment",
     "office_lounge_environment",
     "simulate_word",
+    "simulate_words",
     "user_style",
 ]
 
@@ -143,6 +151,44 @@ def user_style(user: int) -> UserStyle:
     """The paper's five users, reproducibly: one fixed style per user id."""
     rng = np.random.default_rng(90_000 + user)
     return UserStyle.sample(rng)
+
+
+# ----------------------------------------------------------------------
+# Shared, immutable simulation substrate
+# ----------------------------------------------------------------------
+# A batch of simulated words shares its nominal deployments and its
+# propagation channel: both are pure functions of the scenario tunables
+# and nothing mutates them after construction (the channel's wall-image
+# cache only grows). Rebuilding them per word was measurable overhead in
+# the fig11/fig14/fig15 sweeps — and a shared channel also shares its
+# hoisted wall images across every word of a batch.
+@functools.lru_cache(maxsize=None)
+def _shared_channel(los: bool, wavelength: float) -> BackscatterChannel:
+    environment = (
+        vicon_room_environment() if los else office_lounge_environment()
+    )
+    return BackscatterChannel(environment, wavelength)
+
+
+@functools.lru_cache(maxsize=None)
+def _shared_rfidraw_layout(wavelength: float) -> Deployment:
+    return rfidraw_layout(
+        wavelength, SIDE_IN_WAVELENGTHS, origin=(0.0, WALL_Z_OFFSET)
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def _shared_baseline_layout(wavelength: float) -> Deployment:
+    return aoa_baseline_layout(
+        wavelength, SIDE_IN_WAVELENGTHS, origin=(0.0, WALL_Z_OFFSET)
+    )
+
+
+def _channel_for(config: ScenarioConfig) -> BackscatterChannel:
+    """The (shared) channel of a config; honours subclass overrides."""
+    if type(config).environment is ScenarioConfig.environment:
+        return _shared_channel(config.los, config.wavelength)
+    return BackscatterChannel(config.environment(), config.wavelength)
 
 
 @dataclass
@@ -277,8 +323,7 @@ def simulate_word(
         return plane.to_world(trace.position_at(when))
 
     # --- the RF world ----------------------------------------------------
-    environment = config.environment()
-    channel = BackscatterChannel(environment, config.wavelength)
+    channel = _channel_for(config)
     noise = PhaseNoiseModel(sigma=config.phase_noise_sigma)
     tag = PassiveTag(
         Epc96.with_serial(int(rng_session.integers(1, 2**38))),
@@ -287,11 +332,7 @@ def simulate_word(
     )
     duration = trace.times[-1] + 0.3
 
-    deployment = rfidraw_layout(
-        config.wavelength,
-        SIDE_IN_WAVELENGTHS,
-        origin=(0.0, WALL_Z_OFFSET),
-    )
+    deployment = _shared_rfidraw_layout(config.wavelength)
     # The readers see the *true* (jittered) antenna positions; the
     # algorithms only know the nominal deployment.
     true_deployment = _jitter_deployment(
@@ -318,11 +359,7 @@ def simulate_word(
     rfidraw_log = MeasurementLog(reports)
 
     # --- the baseline's readers ------------------------------------------
-    baseline_deployment = aoa_baseline_layout(
-        config.wavelength,
-        SIDE_IN_WAVELENGTHS,
-        origin=(0.0, WALL_Z_OFFSET),
-    )
+    baseline_deployment = _shared_baseline_layout(config.wavelength)
     true_baseline = _jitter_deployment(
         baseline_deployment, config.antenna_jitter_sigma, rng_baseline
     )
@@ -359,6 +396,75 @@ def simulate_word(
         rfidraw_log=rfidraw_log,
         baseline_log=baseline_log,
     )
+
+
+@dataclass(frozen=True)
+class WordJob:
+    """One :func:`simulate_word` invocation, as data.
+
+    The batch runner accepts either ``WordJob`` instances or plain
+    ``(word, user, seed, config)`` tuples (trailing fields optional).
+    """
+
+    word: str
+    user: int = 0
+    seed: int = 0
+    config: ScenarioConfig | None = None
+
+
+def _run_job(job: WordJob, run_baseline: bool) -> SimulationRun:
+    """Module-level job body (picklable for process executors)."""
+    return simulate_word(
+        job.word,
+        user=job.user,
+        seed=job.seed,
+        config=job.config,
+        run_baseline=run_baseline,
+    )
+
+
+def simulate_words(
+    jobs,
+    run_baseline: bool = True,
+    max_workers: int | None = None,
+    use_processes: bool = False,
+) -> list[SimulationRun]:
+    """Simulate a batch of writing sessions through shared substrate.
+
+    Every job reuses the cached nominal deployments and the shared
+    propagation channel (see :func:`_channel_for`), so a sweep pays the
+    layout/environment construction once instead of per word. Jobs are
+    mutually independent — each derives its randomness from its own
+    ``(seed, user, word)`` tuple — so results are identical whether they
+    run serially or on an executor.
+
+    Args:
+        jobs: iterable of :class:`WordJob` or ``(word[, user[, seed[,
+            config]]])`` tuples, in result order.
+        run_baseline: also run the antenna-array scheme's readers.
+        max_workers: fan jobs across a ``concurrent.futures`` executor
+            when > 1; ``None``/``0``/``1`` runs serially in-process.
+        use_processes: use a process pool instead of a thread pool
+            (worth it only when jobs are long and numerous — each
+            worker re-imports the library and ships results back by
+            pickle).
+
+    Returns:
+        One :class:`SimulationRun` per job, in job order.
+    """
+    normalized = [
+        job if isinstance(job, WordJob) else WordJob(*job) for job in jobs
+    ]
+    body = functools.partial(_run_job, run_baseline=run_baseline)
+    if max_workers and max_workers > 1 and len(normalized) > 1:
+        pool_type = (
+            concurrent.futures.ProcessPoolExecutor
+            if use_processes
+            else concurrent.futures.ThreadPoolExecutor
+        )
+        with pool_type(max_workers=max_workers) as pool:
+            return list(pool.map(body, normalized))
+    return [body(job) for job in normalized]
 
 
 def _jitter_deployment(

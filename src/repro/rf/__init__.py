@@ -28,6 +28,7 @@ from repro.rf.beams import (
 from repro.rf.noise import PhaseNoiseModel
 from repro.rf.multipath import PointScatterer, WallReflector
 from repro.rf.channel import BackscatterChannel, Environment
+from repro.rf.engine import ChannelBank
 
 __all__ = [
     "DEFAULT_FREQUENCY_HZ",
@@ -54,4 +55,5 @@ __all__ = [
     "WallReflector",
     "BackscatterChannel",
     "Environment",
+    "ChannelBank",
 ]

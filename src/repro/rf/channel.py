@@ -93,6 +93,26 @@ class BackscatterChannel:
     def __post_init__(self) -> None:
         if self.wavelength <= 0:
             raise ValueError("wavelength must be positive")
+        # Per-antenna wall mirror images, keyed by the antenna position's
+        # raw bytes. An image depends only on (antenna, wall), yet the
+        # measurement path evaluates the channel thousands of times per
+        # antenna — recomputing every image per call was pure waste.
+        self._image_cache: dict[bytes, list[np.ndarray]] = {}
+
+    def _wall_images(self, antenna_position: np.ndarray) -> list[np.ndarray]:
+        """Mirror images of ``antenna_position`` across every wall, cached.
+
+        The cache assumes the environment's wall list is fixed after the
+        channel is constructed (appending/removing walls is detected by
+        the length guard; in-place replacement is not).
+        """
+        walls = self.environment.walls
+        key = antenna_position.tobytes()
+        images = self._image_cache.get(key)
+        if images is None or len(images) != len(walls):
+            images = [wall.mirror(antenna_position) for wall in walls]
+            self._image_cache[key] = images
+        return images
 
     # ------------------------------------------------------------------
     # Complex responses
@@ -113,8 +133,8 @@ class BackscatterChannel:
             leg_out = np.linalg.norm(tags - scatterer.position, axis=1)
             response += scatterer.gain * self._path_term(leg_in + leg_out)
 
-        for wall in self.environment.walls:
-            image = wall.mirror(antenna_position)
+        images = self._wall_images(antenna_position)
+        for wall, image in zip(self.environment.walls, images):
             lengths = np.linalg.norm(tags - image, axis=1)
             response += wall.reflectivity * self._path_term(lengths)
 

@@ -1,0 +1,247 @@
+"""Vectorized channel-synthesis engine.
+
+The measurement side of the simulator spends its time evaluating the
+multipath channel of :class:`repro.rf.channel.BackscatterChannel` — once
+per inventory round for tag powering and twice per phase report (phase +
+RSSI). Each of those calls loops over the environment's scatterers and
+walls in Python, recomputing per-path geometry (wall mirror images, the
+antenna→scatterer leg) that only depends on the *antenna*, not on the tag.
+
+``ChannelBank`` is the channel-side sibling of
+:class:`repro.core.engine.PairBank`: it precomputes every effective path
+source for every antenna of a deployment **once** —
+
+* the antenna itself (the direct path, weighted by ``los_gain``),
+* each scatterer's position plus the fixed antenna→scatterer leg length,
+* each wall's mirror image of the antenna (the image method turns a
+  specular bounce into a straight path from the image),
+
+— into stacked ``(A, K, 3)`` / ``(A, K)`` arrays, and then evaluates the
+channel for *(antennas × tag positions × paths)* in one chunked,
+broadcasted complex-exponential kernel::
+
+    h[a, n] = Σ_k  g_k · (λ / 4π L)·exp(−j 2π L / λ),
+    L       = offsets[a, k] + ‖tags[n] − sources[a, k]‖
+
+All observables (:meth:`phase_at`, :meth:`rssi_dbm`,
+:meth:`tag_incident_power_dbm`) derive from that kernel with the exact
+formulas of the loop reference, so the two agree to ≈ 1e-15 (the
+equivalence suite in ``tests/test_rf_channel_engine.py`` enforces 1e-9).
+
+When to prefer the reference implementation
+    :class:`repro.rf.channel.BackscatterChannel` remains the executable
+    specification — one readable loop per path type. Use it for new path
+    models or to cross-check the bank; use the bank wherever many
+    evaluations share the same antennas, which is every hot path in
+    :class:`repro.rfid.reader.Reader`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.vectors import as_points
+from repro.rf.channel import BackscatterChannel
+from repro.rf.phase import wrap_to_two_pi
+
+__all__ = ["ChannelBank"]
+
+_TWO_PI = 2.0 * np.pi
+
+
+class ChannelBank:
+    """Stacked path sources of a :class:`BackscatterChannel` over antennas.
+
+    Attributes:
+        channel: the channel whose environment/wavelength the bank mirrors.
+        antenna_positions: ``(A, 3)`` stacked antenna positions.
+        sources: ``(A, K, 3)`` effective straight-path source per antenna
+            per path — the antenna itself, scatterer positions, wall
+            mirror images.
+        offsets: ``(A, K)`` constant extra path length per source (the
+            antenna→scatterer leg; zero for direct and wall paths).
+        gains: ``(K,)`` per-path amplitude gains (``los_gain``, scatterer
+            gains, wall reflectivities) — shared by every antenna.
+    """
+
+    #: Elements per ``(antennas × tags × paths)`` block of the chunked
+    #: kernel. Sized so the dominant ``(A, n, K, 3)`` float buffer stays
+    #: a few MB — inside the cache hierarchy, like ``PairBank``'s vote
+    #: kernel — while the per-chunk numpy dispatch stays negligible.
+    _CHUNK_ELEMENTS = 262_144
+
+    def __init__(self, channel: BackscatterChannel, antenna_positions) -> None:
+        self.channel = channel
+        positions = as_points(antenna_positions)
+        if positions.shape[0] == 0:
+            raise ValueError("a ChannelBank needs at least one antenna")
+        self.antenna_positions = positions
+        environment = channel.environment
+        count = positions.shape[0]
+
+        # Path order matches the reference loop: direct, scatterers, walls.
+        sources = [positions[:, np.newaxis, :]]
+        offsets = [np.zeros((count, 1))]
+        gains = [environment.los_gain]
+        for scatterer in environment.scatterers:
+            sources.append(
+                np.broadcast_to(scatterer.position, (count, 1, 3))
+            )
+            offsets.append(
+                np.linalg.norm(
+                    scatterer.position - positions, axis=1
+                )[:, np.newaxis]
+            )
+            gains.append(scatterer.gain)
+        for wall in environment.walls:
+            sources.append(wall.mirror(positions)[:, np.newaxis, :])
+            offsets.append(np.zeros((count, 1)))
+            gains.append(wall.reflectivity)
+
+        self.sources = np.ascontiguousarray(np.concatenate(sources, axis=1))
+        self.offsets = np.concatenate(offsets, axis=1)
+        self.gains = np.asarray(gains, dtype=float)
+
+    @classmethod
+    def from_antennas(cls, channel: BackscatterChannel, antennas) -> "ChannelBank":
+        """Bank over a list of :class:`repro.geometry.antennas.Antenna`."""
+        return cls(channel, np.stack([a.position for a in antennas]))
+
+    def __len__(self) -> int:
+        return self.antenna_positions.shape[0]
+
+    @property
+    def path_count(self) -> int:
+        return self.gains.shape[0]
+
+    # ------------------------------------------------------------------
+    # The kernel
+    # ------------------------------------------------------------------
+    def _kernel(
+        self, sources: np.ndarray, offsets: np.ndarray, tags: np.ndarray
+    ) -> np.ndarray:
+        """``(M, N)`` one-way responses for ``M`` antennas, ``N`` tags.
+
+        One broadcasted complex-exponential evaluation per chunk of tag
+        positions: path lengths ``L = offset + ‖tag − source‖`` (clamped
+        like the reference's ``_path_term``), amplitudes ``λ/4πL``, then
+        a gain-weighted sum over the path axis.
+        """
+        wavelength = self.channel.wavelength
+        m, k = offsets.shape
+        total = tags.shape[0]
+        out = np.empty((m, total), dtype=complex)
+        chunk = max(1, self._CHUNK_ELEMENTS // max(1, m * k))
+        for start in range(0, total, chunk):
+            stop = min(start + chunk, total)
+            diff = (
+                tags[np.newaxis, start:stop, np.newaxis, :]
+                - sources[:, np.newaxis, :, :]
+            )  # (M, n, K, 3)
+            lengths = np.sqrt(np.einsum("ankx,ankx->ank", diff, diff))
+            lengths += offsets[:, np.newaxis, :]
+            np.maximum(lengths, 1e-6, out=lengths)
+            phase = np.exp((-1j * _TWO_PI / wavelength) * lengths)
+            phase *= (wavelength / (4.0 * np.pi)) / lengths
+            np.einsum("k,ank->an", self.gains, phase, out=out[:, start:stop])
+        return out
+
+    def _select(self, antenna_index: int | None):
+        if antenna_index is None:
+            return self.sources, self.offsets
+        return (
+            self.sources[antenna_index : antenna_index + 1],
+            self.offsets[antenna_index : antenna_index + 1],
+        )
+
+    def _collapse(
+        self, block: np.ndarray, antenna_index: int | None, scalar: bool
+    ) -> np.ndarray:
+        if antenna_index is not None:
+            block = block[0]
+            return block[0] if scalar else block
+        return block[:, 0] if scalar else block
+
+    # ------------------------------------------------------------------
+    # Complex responses
+    # ------------------------------------------------------------------
+    def one_way_response(
+        self, tag_positions, antenna_index: int | None = None
+    ) -> np.ndarray:
+        """Complex one-way channel, batched over antennas and tags.
+
+        Args:
+            tag_positions: one ``(3,)`` point or ``(N, 3)`` stacked points.
+            antenna_index: evaluate a single antenna row instead of all.
+
+        Returns:
+            ``(A, N)`` responses; the antenna axis is dropped when
+            ``antenna_index`` is given and the tag axis when a single
+            point was passed.
+        """
+        tags = np.asarray(tag_positions, dtype=float)
+        scalar = tags.ndim == 1
+        tags = as_points(tags)
+        sources, offsets = self._select(antenna_index)
+        return self._collapse(
+            self._kernel(sources, offsets, tags), antenna_index, scalar
+        )
+
+    def round_trip_response(
+        self, tag_positions, antenna_index: int | None = None
+    ) -> np.ndarray:
+        """Monostatic backscatter response ``h_rt = h²``, batched."""
+        one_way = self.one_way_response(tag_positions, antenna_index)
+        return one_way * one_way
+
+    # ------------------------------------------------------------------
+    # Observables (formulas identical to the loop reference)
+    # ------------------------------------------------------------------
+    def phase_at(
+        self, tag_positions, antenna_index: int | None = None
+    ) -> np.ndarray:
+        """Round-trip phase the reader measures, in ``[0, 2π)``."""
+        h_rt = self.round_trip_response(tag_positions, antenna_index)
+        return wrap_to_two_pi(np.angle(h_rt))
+
+    def rssi_dbm(
+        self, tag_positions, antenna_index: int | None = None
+    ) -> np.ndarray:
+        """Backscatter RSSI at the reader, in dBm."""
+        h_rt = self.round_trip_response(tag_positions, antenna_index)
+        power = np.maximum(np.abs(h_rt) ** 2, 1e-30)
+        channel = self.channel
+        return (
+            channel.tx_eirp_dbm
+            - channel.tag_backscatter_loss_db
+            + 10.0 * np.log10(power)
+        )
+
+    def tag_incident_power_dbm(
+        self, tag_positions, antenna_index: int | None = None
+    ) -> np.ndarray:
+        """Power arriving at the tag (wake-up budget), batched."""
+        h = self.one_way_response(tag_positions, antenna_index)
+        power = np.maximum(np.abs(h) ** 2, 1e-30)
+        return self.channel.tx_eirp_dbm + 10.0 * np.log10(power)
+
+    def measure(
+        self, tag_positions, antenna_index: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(phase, rssi_dbm)`` from one kernel evaluation.
+
+        The reader needs both observables per report; deriving them from
+        a single round-trip response halves the synthesis cost while
+        producing exactly the values of :meth:`phase_at` /
+        :meth:`rssi_dbm`.
+        """
+        h_rt = self.round_trip_response(tag_positions, antenna_index)
+        phase = wrap_to_two_pi(np.angle(h_rt))
+        power = np.maximum(np.abs(h_rt) ** 2, 1e-30)
+        channel = self.channel
+        rssi = (
+            channel.tx_eirp_dbm
+            - channel.tag_backscatter_loss_db
+            + 10.0 * np.log10(power)
+        )
+        return phase, rssi

@@ -73,10 +73,15 @@ class WallReflector:
             raise ValueError("reflectivity must be within [0, 1]")
 
     def mirror(self, position: np.ndarray) -> np.ndarray:
-        """Mirror image of ``position`` across the wall plane."""
+        """Mirror image(s) of ``position`` across the wall plane.
+
+        Accepts a single ``(3,)`` point or a stacked ``(..., 3)`` block —
+        the vectorized channel engine mirrors every antenna of a
+        deployment in one call.
+        """
         position = np.asarray(position, dtype=float)
-        offset = float(np.dot(position - self.point, self.normal))
-        return position - 2.0 * offset * self.normal
+        offset = (position - self.point) @ self.normal
+        return position - 2.0 * offset[..., np.newaxis] * self.normal
 
     def path_length(self, a: np.ndarray, b: np.ndarray) -> float:
         """Length of the specular path a → wall → b (image method)."""

@@ -43,18 +43,38 @@ class PhaseNoiseModel:
         if self.quantization < 0:
             raise ValueError("quantization must be non-negative")
 
-    def corrupt_phase(self, phase, rng: np.random.Generator):
-        """Apply noise then quantisation; result wrapped to ``[0, 2π)``."""
-        phase = np.asarray(phase, dtype=float)
-        noisy = phase + rng.normal(0.0, self.sigma, size=phase.shape)
+    def phase_noise(self, rng: np.random.Generator, shape=()):
+        """Draw the additive phase noise for one report (or a block).
+
+        Split out from :meth:`corrupt_phase` so the vectorized reader can
+        draw noise at the exact point the per-report reference draws it
+        (keeping the RNG stream identical) while deferring the channel
+        synthesis the noise is later added to.
+        """
+        return rng.normal(0.0, self.sigma, size=shape)
+
+    def rssi_noise(self, rng: np.random.Generator, shape=()):
+        """Draw the additive RSSI noise (dB) for one report (or a block)."""
+        return rng.normal(0.0, self.rssi_sigma_db, size=shape)
+
+    def finalize_phase(self, noisy):
+        """Quantise an already-noisy phase and wrap it to ``[0, 2π)``."""
+        noisy = np.asarray(noisy, dtype=float)
         if self.quantization > 0:
             noisy = np.round(noisy / self.quantization) * self.quantization
         return wrap_to_two_pi(noisy)
 
+    def corrupt_phase(self, phase, rng: np.random.Generator):
+        """Apply noise then quantisation; result wrapped to ``[0, 2π)``."""
+        phase = np.asarray(phase, dtype=float)
+        return self.finalize_phase(
+            phase + self.phase_noise(rng, shape=phase.shape)
+        )
+
     def corrupt_rssi(self, rssi_dbm, rng: np.random.Generator):
         """Jitter an RSSI report (dBm) with Gaussian dB noise."""
         rssi_dbm = np.asarray(rssi_dbm, dtype=float)
-        return rssi_dbm + rng.normal(0.0, self.rssi_sigma_db, size=rssi_dbm.shape)
+        return rssi_dbm + self.rssi_noise(rng, shape=rssi_dbm.shape)
 
     @classmethod
     def noiseless(cls) -> "PhaseNoiseModel":

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.geometry.antennas import Antenna
 from repro.rf.channel import BackscatterChannel
+from repro.rf.engine import ChannelBank
 from repro.rf.noise import PhaseNoiseModel
 from repro.rfid.protocol import InventoryRound, QAlgorithm, SlotOutcome
 from repro.rfid.tag import PassiveTag
@@ -86,6 +87,13 @@ class Reader:
                 )
         if self.dwell_time <= 0:
             raise ValueError("dwell_time must be positive")
+        self._bank: ChannelBank | None = None
+
+    def _channel_bank(self) -> ChannelBank:
+        """The vectorized channel over this reader's antennas (lazy)."""
+        if self._bank is None:
+            self._bank = ChannelBank.from_antennas(self.channel, self.antennas)
+        return self._bank
 
     def inventory(
         self,
@@ -97,6 +105,16 @@ class Reader:
     ) -> list[PhaseReport]:
         """Run continuous inventory for ``duration`` seconds.
 
+        Vectorized measurement path: the Gen2 protocol still runs round
+        by round (slot outcomes feed the Q-algorithm and the clock), but
+        all channel synthesis is batched through a precomputed
+        :class:`~repro.rf.engine.ChannelBank` — one call per round for
+        tag powering, and one call per *dwell* for every report's phase
+        and RSSI. Noise is still drawn per report at the exact point
+        :meth:`inventory_reference` draws it, so both implementations
+        consume the RNG identically and produce matching logs for the
+        same seed (``tests/test_rfid_reader.py`` cross-checks this).
+
         Args:
             tags: the tag population in the field.
             duration: wall-clock seconds of inventory.
@@ -105,10 +123,183 @@ class Reader:
             position_at: optional callback giving tag ``serial``'s position
                 at a time — lets tags move *during* the inventory (the
                 whole point of trajectory tracing). Defaults to each tag's
-                static ``position``.
+                static ``position``. Callbacks that accept a vector of
+                times are evaluated batched; scalar-only callbacks are
+                detected and looped over transparently.
 
         Returns:
             Chronological :class:`PhaseReport` records.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+
+        bank = self._channel_bank()
+        epc_hex = {tag.epc.serial: tag.epc.to_hex() for tag in tags}
+
+        def locate(tag: PassiveTag, when: float) -> np.ndarray:
+            if position_at is None:
+                return tag.position
+            return np.asarray(position_at(tag.epc.serial, when), dtype=float)
+
+        reports: list[PhaseReport] = []
+        q_algo = QAlgorithm(q_float=float(self.initial_q))
+        clock = start_time
+        end_time = start_time + duration
+        port = 0
+
+        while clock < end_time:
+            antenna_index = port % len(self.antennas)
+            antenna = self.antennas[antenna_index]
+            dwell_end = min(clock + self.dwell_time, end_time)
+            # One pending entry per successful singulation; the expensive
+            # phase/RSSI synthesis happens once, after the dwell.
+            pending: list[tuple[float, PassiveTag, float, float]] = []
+            while clock < dwell_end:
+                # Powering: evaluated at the start of the round; tags move
+                # slowly relative to a ~10 ms round. One batched kernel
+                # call covers the whole population.
+                positions_now = np.stack(
+                    [locate(tag, clock) for tag in tags]
+                ) if tags else np.zeros((0, 3))
+                powers = np.atleast_1d(
+                    bank.tag_incident_power_dbm(
+                        positions_now, antenna_index=antenna_index
+                    )
+                )
+                incident = {
+                    tag.epc.serial: float(power)
+                    for tag, power in zip(tags, powers)
+                }
+                round_ = InventoryRound(q_algo.q, rng)
+                slots, clock = round_.run(tags, incident, clock, q_algo)
+                for slot in slots:
+                    if slot.outcome is not SlotOutcome.SUCCESS or slot.tag is None:
+                        continue
+                    reply_time = slot.time + slot.duration
+                    if reply_time > dwell_end:
+                        continue  # reply straddles the port switch; dropped
+                    # Draw the measurement noise *now* — the reference
+                    # implementation consumes the RNG here, between this
+                    # round's and the next round's protocol draws.
+                    eps_phase = float(self.noise.phase_noise(rng))
+                    eps_rssi = float(self.noise.rssi_noise(rng))
+                    pending.append((reply_time, slot.tag, eps_phase, eps_rssi))
+            if pending:
+                reports.extend(
+                    self._synthesize_dwell(
+                        pending, antenna, antenna_index, bank, epc_hex,
+                        position_at,
+                    )
+                )
+            port += 1
+        return reports
+
+    def _synthesize_dwell(
+        self,
+        pending: list[tuple[float, PassiveTag, float, float]],
+        antenna: Antenna,
+        antenna_index: int,
+        bank: ChannelBank,
+        epc_hex: dict[int, str],
+        position_at: PositionsAt | None,
+    ) -> list[PhaseReport]:
+        """Batch-synthesize every report of one dwell."""
+        times = np.array([entry[0] for entry in pending])
+        positions = np.empty((len(pending), 3))
+        grouped: dict[int, list[int]] = {}
+        for index, (_, tag, _, _) in enumerate(pending):
+            grouped.setdefault(tag.epc.serial, []).append(index)
+        tag_of = {entry[1].epc.serial: entry[1] for entry in pending}
+        for serial, indices in grouped.items():
+            positions[indices] = self._positions_of(
+                tag_of[serial], times[indices], position_at
+            )
+
+        clean_phase, clean_rssi = bank.measure(
+            positions, antenna_index=antenna_index
+        )
+        clean_phase = np.atleast_1d(clean_phase)
+        clean_rssi = np.atleast_1d(clean_rssi)
+        modulation = np.array([entry[1].modulation_phase for entry in pending])
+        eps_phase = np.array([entry[2] for entry in pending])
+        eps_rssi = np.array([entry[3] for entry in pending])
+        # Same accumulation order as the reference: clean + modulation +
+        # LO offset, then the additive noise, then quantise and wrap.
+        phases = self.noise.finalize_phase(
+            (clean_phase + modulation) + self.lo_offset + eps_phase
+        )
+        rssis = clean_rssi + eps_rssi
+        return [
+            PhaseReport(
+                time=float(times[index]),
+                epc_hex=epc_hex[pending[index][1].epc.serial],
+                reader_id=self.reader_id,
+                antenna_id=antenna.antenna_id,
+                phase=float(phases[index]),
+                rssi_dbm=float(rssis[index]),
+            )
+            for index in range(len(pending))
+        ]
+
+    def _positions_of(
+        self,
+        tag: PassiveTag,
+        times: np.ndarray,
+        position_at: PositionsAt | None,
+    ) -> np.ndarray:
+        """Tag positions at ``times`` — batched when the callback allows.
+
+        A vectorized callback (like the scenario runner's, built on
+        ``np.interp``) answers a whole time vector in one call and
+        produces bit-identical values to per-time scalar calls; anything
+        that raises or returns the wrong shape falls back to the scalar
+        loop.
+        """
+        if position_at is None:
+            return np.broadcast_to(tag.position, (times.shape[0], 3))
+        try:
+            block = np.asarray(position_at(tag.epc.serial, times), dtype=float)
+            if block.shape == (times.shape[0], 3):
+                if times.shape[0] != 3:
+                    return block
+                # (3, 3) is ambiguous: a coords-first callback returning
+                # (3, N) would pass the shape check only on 3-report
+                # dwells. Disambiguate with one scalar probe; a callback
+                # that cannot answer a scalar gets the batch's benefit
+                # of the doubt (the scalar fallback below could not run
+                # for it either).
+                try:
+                    probe = np.asarray(
+                        position_at(tag.epc.serial, float(times[0])),
+                        dtype=float,
+                    )
+                except Exception:
+                    return block
+                if probe.shape == (3,) and np.array_equal(probe, block[0]):
+                    return block
+        except Exception:
+            pass
+        return np.stack(
+            [
+                np.asarray(position_at(tag.epc.serial, float(t)), dtype=float)
+                for t in times
+            ]
+        )
+
+    def inventory_reference(
+        self,
+        tags: list[PassiveTag],
+        duration: float,
+        rng: np.random.Generator,
+        start_time: float = 0.0,
+        position_at: PositionsAt | None = None,
+    ) -> list[PhaseReport]:
+        """The per-report reference implementation (executable spec).
+
+        Synthesizes one report at a time through the loop-based
+        :class:`~repro.rf.channel.BackscatterChannel` — the seed
+        behaviour, kept for cross-checking :meth:`inventory` (same RNG
+        stream, matching logs for the same seed).
         """
         if duration <= 0:
             raise ValueError("duration must be positive")

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.voting import VoteMap, pair_votes, total_votes, vote_map_on_grid
-from repro.rf.phase import wrap_to_pi
 
 from tests.helpers import ideal_snapshot
 

@@ -6,7 +6,6 @@ unit suite still covers the experiment code paths end to end.
 """
 
 import numpy as np
-import pytest
 
 from repro.experiments import fig07_wrong_lobe, fig10_microbenchmark
 from repro.experiments.fig14_char_recognition import character_segments

@@ -5,8 +5,10 @@ import pytest
 
 from repro.experiments.scenarios import (
     ScenarioConfig,
+    WordJob,
     office_lounge_environment,
     simulate_word,
+    simulate_words,
     user_style,
     vicon_room_environment,
 )
@@ -98,3 +100,51 @@ class TestSimulateWord:
         shape_error = np.linalg.norm(shifted - truth, axis=1)
         # Shape preserved to a few cm even with noise and multipath.
         assert np.median(shape_error) < 0.06
+
+
+class TestSimulateWords:
+    JOBS = [
+        ("on", 0, 3),
+        WordJob("hi", user=1, seed=5),
+        WordJob("on", user=2, seed=7, config=ScenarioConfig(distance=2.5)),
+    ]
+
+    @staticmethod
+    def _assert_runs_match(batch, run_baseline=False):
+        for job, run in zip(TestSimulateWords.JOBS, batch):
+            job = job if isinstance(job, WordJob) else WordJob(*job)
+            solo = simulate_word(
+                job.word,
+                user=job.user,
+                seed=job.seed,
+                config=job.config,
+                run_baseline=run_baseline,
+            )
+            assert run.word == solo.word
+            assert len(run.rfidraw_log) == len(solo.rfidraw_log)
+            for a, b in zip(run.rfidraw_log.reports, solo.rfidraw_log.reports):
+                assert a == b
+
+    def test_serial_matches_simulate_word(self):
+        batch = simulate_words(self.JOBS, run_baseline=False)
+        assert len(batch) == len(self.JOBS)
+        self._assert_runs_match(batch)
+
+    def test_threaded_matches_serial(self):
+        batch = simulate_words(self.JOBS, run_baseline=False, max_workers=3)
+        self._assert_runs_match(batch)
+
+    def test_tuple_and_job_forms_agree(self):
+        from_tuple = simulate_words([("hi", 1, 5)], run_baseline=False)[0]
+        from_job = simulate_words(
+            [WordJob("hi", user=1, seed=5)], run_baseline=False
+        )[0]
+        assert from_tuple.rfidraw_log.reports == from_job.rfidraw_log.reports
+
+    def test_shared_substrate_is_reused(self):
+        one, two = simulate_words(
+            [("on", 0, 3), ("hi", 0, 4)], run_baseline=True
+        )
+        # Nominal deployments and channels are cached across jobs.
+        assert one.rfidraw_deployment is two.rfidraw_deployment
+        assert one.baseline_deployment is two.baseline_deployment

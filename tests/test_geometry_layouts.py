@@ -6,7 +6,6 @@ import pytest
 from repro.geometry.layouts import (
     TIGHT_READER,
     WIDE_READER,
-    aoa_baseline_layout,
     linear_array,
     rfidraw_layout,
 )

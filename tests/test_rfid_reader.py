@@ -108,6 +108,160 @@ class TestInventory:
             reader.inventory([tag], 0.0, rng)
 
 
+class TestVectorizedMatchesReference:
+    """The batched measurement path must reproduce the per-report spec.
+
+    Both implementations consume the RNG identically (protocol draws and
+    per-report noise draws happen at the same points), so for the same
+    seed every protocol field is bit-identical and the synthesized
+    phase/RSSI agree to the kernel's 1e-9 equivalence bound.
+    """
+
+    def _multipath_reader(self, deployment, wavelength, sigma=0.12):
+        from repro.rf.channel import BackscatterChannel, Environment
+        from repro.rf.multipath import PointScatterer, WallReflector
+
+        channel = BackscatterChannel(
+            Environment(
+                los_gain=0.6,
+                scatterers=[
+                    PointScatterer(position=(-0.9, 1.7, 0.8), gain=0.30),
+                    PointScatterer(position=(3.5, 2.4, 1.8), gain=0.26),
+                ],
+                walls=[
+                    WallReflector(
+                        point=(0, 0, 0), normal=(0, 0, 1.0), reflectivity=0.26
+                    ),
+                ],
+            ),
+            wavelength,
+        )
+        return Reader(
+            1,
+            deployment.antennas_of_reader(1),
+            channel,
+            PhaseNoiseModel(sigma=sigma),
+            lo_offset=0.7,
+            dwell_time=0.04,
+        )
+
+    def _assert_logs_match(self, fast, slow):
+        assert len(fast) == len(slow)
+        assert len(fast) > 0
+        for a, b in zip(fast, slow):
+            assert a.time == b.time
+            assert a.epc_hex == b.epc_hex
+            assert a.reader_id == b.reader_id
+            assert a.antenna_id == b.antenna_id
+            assert a.phase == pytest.approx(b.phase, abs=1e-9)
+            assert a.rssi_dbm == pytest.approx(b.rssi_dbm, abs=1e-9)
+
+    def test_static_tags(self, deployment, wavelength):
+        tags = [
+            PassiveTag(
+                Epc96.with_serial(s),
+                np.array([1.0 + 0.3 * s, 2.0, 1.0]),
+                modulation_phase=0.1 * s,
+            )
+            for s in (1, 2, 3)
+        ]
+        fast = self._multipath_reader(deployment, wavelength).inventory(
+            tags, 1.0, np.random.default_rng(42)
+        )
+        slow = self._multipath_reader(
+            deployment, wavelength
+        ).inventory_reference(tags, 1.0, np.random.default_rng(42))
+        self._assert_logs_match(fast, slow)
+
+    def test_moving_tag_vectorized_callback(self, deployment, wavelength):
+        tag = PassiveTag(Epc96.with_serial(5), np.array([1.0, 2.0, 1.0]))
+
+        def position_at(serial, when):
+            when = np.asarray(when, dtype=float)
+            x = 1.0 + 0.05 * when
+            if when.ndim == 0:
+                return np.array([float(x), 2.0, 1.0])
+            block = np.empty((when.shape[0], 3))
+            block[:, 0] = x
+            block[:, 1] = 2.0
+            block[:, 2] = 1.0
+            return block
+
+        fast = self._multipath_reader(deployment, wavelength).inventory(
+            [tag], 1.5, np.random.default_rng(6), position_at=position_at
+        )
+        slow = self._multipath_reader(
+            deployment, wavelength
+        ).inventory_reference(
+            [tag], 1.5, np.random.default_rng(6), position_at=position_at
+        )
+        self._assert_logs_match(fast, slow)
+
+    def test_moving_tag_scalar_only_callback(self, deployment, wavelength):
+        tag = PassiveTag(Epc96.with_serial(5), np.array([1.0, 2.0, 1.0]))
+
+        def position_at(serial, when):
+            return np.array([1.0 + 0.05 * float(when), 2.0, 1.0])
+
+        fast = self._multipath_reader(deployment, wavelength).inventory(
+            [tag], 1.0, np.random.default_rng(9), position_at=position_at
+        )
+        slow = self._multipath_reader(
+            deployment, wavelength
+        ).inventory_reference(
+            [tag], 1.0, np.random.default_rng(9), position_at=position_at
+        )
+        self._assert_logs_match(fast, slow)
+
+    def test_transposed_callback_on_three_report_dwell(
+        self, deployment, free_channel
+    ):
+        """A coords-first callback returning (3, N) must not be trusted.
+
+        ``(3, 3)`` passes the batched-shape check by accident; the
+        scalar probe has to catch the transposition and fall back to
+        per-time scalar calls.
+        """
+        reader = Reader(
+            1,
+            deployment.antennas_of_reader(1),
+            free_channel,
+            PhaseNoiseModel.noiseless(),
+        )
+        tag = PassiveTag(Epc96.with_serial(4), np.array([1.0, 2.0, 1.0]))
+
+        def coords_first(serial, when):
+            when = np.asarray(when, dtype=float)
+            if when.ndim == 0:
+                return np.array([1.0 + 0.05 * float(when), 2.0, 1.0])
+            return np.stack(
+                [1.0 + 0.05 * when, np.full(when.shape, 2.0),
+                 np.full(when.shape, 1.0)]
+            )  # (3, N) — transposed
+
+        times = np.array([0.1, 0.2, 0.3])
+        got = reader._positions_of(tag, times, coords_first)
+        expected = np.stack([coords_first(4, float(t)) for t in times])
+        np.testing.assert_array_equal(got, expected)
+
+    def test_noiseless_logs_bit_identical(self, deployment, free_channel):
+        reader_args = dict(lo_offset=0.3, dwell_time=0.05)
+        tag = PassiveTag(
+            Epc96.with_serial(2),
+            np.array([1.2, 2.0, 1.1]),
+            modulation_phase=0.4,
+        )
+        fast = Reader(
+            1, deployment.antennas_of_reader(1), free_channel,
+            PhaseNoiseModel.noiseless(), **reader_args,
+        ).inventory([tag], 1.0, np.random.default_rng(3))
+        slow = Reader(
+            1, deployment.antennas_of_reader(1), free_channel,
+            PhaseNoiseModel.noiseless(), **reader_args,
+        ).inventory_reference([tag], 1.0, np.random.default_rng(3))
+        self._assert_logs_match(fast, slow)
+
+
 class TestPhaseReport:
     def test_rejects_unwrapped_phase(self):
         with pytest.raises(ValueError):

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.motion.gestures import circle, swipe
-from repro.wifi import WIFI_5GHZ_FREQUENCY, WifiTracker, wifi_layout, wifi_wavelength
+from repro.wifi import WifiTracker, wifi_layout, wifi_wavelength
 
 
 class TestWifiGeometry:
