@@ -28,7 +28,7 @@ hardware change), run the benchmark suites locally and commit the
 rewritten ``BENCH_engine.json``::
 
     PYTHONPATH=src python -m pytest benchmarks/test_perf_engine.py \
-        benchmarks/test_perf_channel.py -q
+        benchmarks/test_perf_channel.py benchmarks/test_perf_stream.py -q
 """
 
 from __future__ import annotations

@@ -1,0 +1,109 @@
+"""Performance harness for the streaming session API.
+
+Measures the two costs a live deployment cares about and merges them
+into ``BENCH_engine.json`` (same file, same regression gate as the
+engine/channel ops):
+
+* ``stream_ingest_per_report`` — amortized wall time to fold one phase
+  report into a :class:`TrackingSession` (incremental unwrap +
+  interpolation + the tracer steps the report unlocks). This is the
+  bound on sustainable reader throughput.
+* ``stream_word_end_to_end`` — a whole word streamed report-by-report
+  and finalized, next to the batch facade on the same log. Streaming
+  re-does the identical math plus per-report bookkeeping, so its
+  overhead over batch is asserted to stay small.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.scenarios import ScenarioConfig, simulate_word
+from repro.rfid.sampling import build_pair_series
+
+from bench_io import timed as _timed, update_bench
+
+
+def test_stream_perf_regression():
+    run = simulate_word(
+        "clear",
+        user=0,
+        seed=7,
+        config=ScenarioConfig(distance=2.0, los=True),
+        run_baseline=False,
+    )
+    log = run.rfidraw_log
+    system = run.system
+    series = build_pair_series(
+        log, run.rfidraw_deployment, sample_rate=run.config.sample_rate
+    )
+
+    # ------------------------------------------------------------------
+    # Batch reference: the facade on prebuilt series.
+    # ------------------------------------------------------------------
+    batch_result, batch_s = _timed(lambda: system.reconstruct(series))
+
+    # ------------------------------------------------------------------
+    # Streaming: construct session, ingest every report, finalize.
+    # ------------------------------------------------------------------
+    def stream_word():
+        session = system.open_session(sample_rate=run.config.sample_rate)
+        for report in log.reports:
+            session.ingest(report)
+        return session.finalize()
+
+    stream_result, stream_s = _timed(stream_word)
+
+    # The whole point of the redesign: streaming must answer exactly
+    # like batch (the facade routes through the session).
+    assert stream_result.chosen_index == batch_result.chosen_index
+    assert (
+        np.abs(stream_result.trajectory - batch_result.trajectory).max()
+        <= 1e-9
+    )
+
+    # ------------------------------------------------------------------
+    # Amortized ingest cost, positioner warm-up and finalize excluded:
+    # the steady-state per-report latency a reader loop experiences.
+    # ------------------------------------------------------------------
+    session = system.open_session(sample_rate=run.config.sample_rate)
+    warm = len(log.reports) // 4
+    for report in log.reports[:warm]:
+        session.ingest(report)
+    assert session.is_tracking, "warm-up should complete within 1/4 of the log"
+    steady = log.reports[warm:]
+
+    def ingest_steady():
+        for report in steady:
+            session.ingest(report)
+
+    _, steady_s = _timed(ingest_steady)
+    per_report_us = 1e6 * steady_s / len(steady)
+    session.finalize()
+
+    results = [
+        {
+            "op": "stream_ingest_per_report",
+            "reports": len(steady),
+            "points": session.point_count,
+            "wall_seconds": steady_s,
+            "per_report_microseconds": per_report_us,
+        },
+        {
+            "op": "stream_word_end_to_end",
+            "word": "clear",
+            "reports": len(log.reports),
+            "samples": int(stream_result.times.size),
+            "wall_seconds": stream_s,
+            "wall_seconds_batch": batch_s,
+            "overhead_vs_batch": stream_s / batch_s,
+        },
+    ]
+    update_bench(results)
+
+    # Conservative floors/ceilings (CI-noise tolerant): per-report cost
+    # stays well under a millisecond — an M6e-class reader peaks at a
+    # few hundred reads/s, so this leaves >10× headroom — and streaming
+    # a word costs at most a small multiple of the batch facade.
+    assert per_report_us < 1000.0
+    assert stream_s / batch_s < 3.0

@@ -2,8 +2,10 @@
 """The paper's headline application: write words in the air, read them back.
 
 Simulates a user writing words with an RFID on their finger (letters
-≈ 10 cm wide, 2 m from the reader wall), reconstructs each trajectory with
-RF-IDraw, renders the reconstruction as terminal ASCII art, and feeds it
+≈ 10 cm wide, 2 m from the reader wall), streams the reader's phase
+reports through a live :class:`repro.stream.TrackingSession` (points
+appear as the user writes — this is the touch screen being *live*),
+renders the finalized reconstruction as terminal ASCII art, and feeds it
 to the DTW handwriting recogniser (the MyScript Stylus stand-in).
 
 Run it with::
@@ -43,11 +45,20 @@ def main(words: list[str]) -> None:
             config=ScenarioConfig(distance=2.0, los=True),
             run_baseline=False,
         )
-        trajectory = run.rfidraw_result.trajectory
+        # Stream the reader reports through a live session, as a real
+        # touch screen would; finalize() returns the same result the
+        # batch facade computes on the finished log.
+        session = run.system.open_session(
+            sample_rate=run.config.sample_rate
+        )
+        live = session.extend(run.rfidraw_log.reports)
+        result = session.finalize()
+        trajectory = result.trajectory
         prediction = recognizer.classify(trajectory)
         verdict = "✓" if prediction == word else "✗"
         correct += prediction == word
-        print(f"\nUser wrote {word!r} in the air — RF-IDraw saw:")
+        print(f"\nUser wrote {word!r} in the air — RF-IDraw saw "
+              f"({len(live)} points streamed live):")
         print(render_ascii(trajectory))
         print(f"  recognised as {prediction!r}  {verdict}")
     print(f"\n{correct}/{len(words)} words recognised correctly")

@@ -24,6 +24,10 @@ The package is organised as the paper's system is:
     recognizer standing in for the MyScript Stylus app.
 ``repro.motion``
     VICON-style ground-truth capture and scripted gestures.
+``repro.stream``
+    The streaming session API: per-tag :class:`TrackingSession`\\ s that
+    ingest phase reports one at a time, and the multi-tag
+    :class:`SessionManager`. The batch pipeline is a facade over this.
 ``repro.analysis``
     The paper's error metrics (section 8.1), CDFs and shape similarity.
 ``repro.experiments``
@@ -65,6 +69,7 @@ from repro.core import (
     TrajectoryTracer,
 )
 from repro.baseline import ArrayIntersectionTracker, BeamScanAoA
+from repro.stream import SessionManager, TrackingSession
 
 __all__ = [
     "__version__",
@@ -88,4 +93,6 @@ __all__ = [
     "TrajectoryTracer",
     "ArrayIntersectionTracker",
     "BeamScanAoA",
+    "SessionManager",
+    "TrackingSession",
 ]

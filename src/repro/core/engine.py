@@ -42,7 +42,7 @@ When to prefer the reference implementations
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -52,7 +52,7 @@ from repro.geometry.vectors import points_view
 from repro.rf.constants import DEFAULT_WAVELENGTH
 from repro.rf.phase import wrap_to_half_cycle
 
-__all__ = ["PairBank", "BatchedTracer", "batched_lock_lobes"]
+__all__ = ["PairBank", "BatchedTracer", "TraceState", "batched_lock_lobes"]
 
 _TWO_PI = 2.0 * np.pi
 
@@ -325,6 +325,52 @@ class _StepWorkspace:
     axes: np.ndarray  # (3, 2) plane axes as columns
 
 
+@dataclass
+class TraceState:
+    """Incremental tracing state between :meth:`BatchedTracer.step` calls.
+
+    Created by :meth:`BatchedTracer.begin` from the candidate starts and
+    the Δφ vector of the first timeline instant (which fixes each
+    candidate's lobe locks). Every :meth:`BatchedTracer.step` advances
+    all candidates by one timeline instant and appends to the histories
+    below; :meth:`BatchedTracer.finish` turns them into the same
+    :class:`repro.core.tracing.TraceResult` list the batch
+    :meth:`BatchedTracer.trace_all` produces — bit-for-bit, because
+    ``trace_all`` itself is implemented as begin → step… → finish.
+
+    Attributes:
+        workspace: the per-trace geometry constants.
+        locks: ``(C, P)`` per-candidate lobe locks (fixed at begin).
+        starts: the ``(C, 2)`` candidate initial positions, as given.
+        current: the ``(C, 2)`` latest solved positions.
+        positions: per-step ``(C, 2)`` solved positions, in step order.
+        votes: per-step ``(C,)`` Eq. 7 votes.
+        deltas: per-step ``(P,)`` Δφ vectors (for the final residuals).
+    """
+
+    workspace: _StepWorkspace
+    locks: np.ndarray
+    starts: np.ndarray
+    current: np.ndarray
+    positions: list = field(default_factory=list)
+    votes: list = field(default_factory=list)
+    deltas: list = field(default_factory=list)
+
+    @property
+    def step_count(self) -> int:
+        return len(self.positions)
+
+    @property
+    def candidate_count(self) -> int:
+        return int(self.starts.shape[0])
+
+    def running_total_votes(self) -> np.ndarray:
+        """``(C,)`` vote sums over the steps ingested so far."""
+        if not self.votes:
+            return np.zeros(self.candidate_count)
+        return np.sum(self.votes, axis=0)
+
+
 class BatchedTracer:
     """Lobe-locked tracer advancing all candidates simultaneously.
 
@@ -367,6 +413,11 @@ class BatchedTracer:
     def trace_all(self, series, start_positions: np.ndarray) -> list:
         """Trace every candidate start simultaneously.
 
+        Implemented on top of the incremental :meth:`begin` /
+        :meth:`step` / :meth:`finish` API, so a streaming session that
+        feeds the same Δφ instants one at a time produces bit-identical
+        trajectories, votes and residuals.
+
         Args:
             series: per-pair unwrapped Δφ series on a shared timeline.
             start_positions: ``(C, 2)`` candidate initial plane positions.
@@ -375,56 +426,128 @@ class BatchedTracer:
             One :class:`repro.core.tracing.TraceResult` per candidate,
             in input order.
         """
-        from repro.core.tracing import TraceResult, _check_series
+        from repro.core.tracing import _check_series
 
         _check_series(series)
+        steps = len(series[0])
+        bank = PairBank.from_series(series)
+        delta = np.stack([entry.delta_phi for entry in series])  # (P, T)
+        state = self.begin(bank, delta[:, 0], start_positions)
+        for step in range(steps):
+            self.step(state, delta[:, step])
+        return self.finish(state)
+
+    # ------------------------------------------------------------------
+    # Incremental API (what the streaming session drives)
+    # ------------------------------------------------------------------
+    def begin(
+        self,
+        pairs,
+        delta_phi0: np.ndarray,
+        start_positions: np.ndarray,
+    ) -> TraceState:
+        """Open an incremental trace: fix lobe locks, seed all candidates.
+
+        Args:
+            pairs: a :class:`PairBank` or the ``list[AntennaPair]`` to
+                build one from; its pair order fixes the Δφ vector order
+                every subsequent :meth:`step` must use.
+            delta_phi0: ``(P,)`` unwrapped Δφ at the *first* timeline
+                instant — it anchors each candidate's grating-lobe locks
+                exactly like the first column of a batch trace.
+            start_positions: ``(C, 2)`` candidate initial plane positions.
+
+        Returns:
+            A :class:`TraceState`; note ``begin`` does **not** consume
+            the first instant — pass ``delta_phi0`` to :meth:`step` as
+            well, exactly as the batch path solves step 0.
+        """
+        bank = pairs if isinstance(pairs, PairBank) else PairBank(list(pairs))
         starts = np.atleast_2d(np.asarray(start_positions, dtype=float))
         if starts.ndim != 2 or starts.shape[1] != 2:
             raise ValueError("start_positions must be (C, 2) plane coordinates")
-        candidates = starts.shape[0]
-        steps = len(series[0])
-        bank = PairBank.from_series(series)
-        pair_count = len(bank)
-        scale = self.round_trip / self.wavelength
-
-        delta = np.stack([entry.delta_phi for entry in series])  # (P, T)
+        delta_phi0 = np.asarray(delta_phi0, dtype=float)
+        if delta_phi0.shape != (len(bank),):
+            raise ValueError("delta_phi0 must hold one Δφ per pair")
         locks = batched_lock_lobes(
             bank,
-            delta[:, 0],
+            delta_phi0,
             self.plane.to_world(starts),
             self.wavelength,
             self.round_trip,
         )  # (C, P)
-        # (C, P, T) lobe-locked targets in cycles.
-        targets = delta[np.newaxis, :, :] / _TWO_PI + locks[:, :, np.newaxis]
-
         workspace = _StepWorkspace(
             bank=bank,
             plane=self.plane,
-            scale=scale,
+            scale=self.round_trip / self.wavelength,
             axes=np.stack([self.plane.u_axis, self.plane.v_axis], axis=1),
         )
-        positions = np.empty((candidates, steps, 2))
-        votes = np.empty((candidates, steps))
-        current = starts.copy()
-        for step in range(steps):
-            current, vote = self._solve_step(
-                workspace, targets[:, :, step], current
-            )
-            positions[:, step] = current
-            votes[:, step] = vote
+        return TraceState(
+            workspace=workspace,
+            locks=locks,
+            starts=starts.copy(),
+            current=starts.copy(),
+        )
+
+    def step(
+        self, state: TraceState, delta_phi: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Advance all candidates by one timeline instant.
+
+        Args:
+            state: the state from :meth:`begin`.
+            delta_phi: ``(P,)`` unwrapped Δφ at this instant, in the
+                state's pair order.
+
+        Returns:
+            ``(positions, votes)`` — the ``(C, 2)`` solved positions and
+            ``(C,)`` Eq. 7 votes of this step (also appended to the
+            state's histories).
+        """
+        delta_phi = np.asarray(delta_phi, dtype=float)
+        if delta_phi.shape != (len(state.workspace.bank),):
+            raise ValueError("delta_phi must hold one Δφ per pair")
+        targets = delta_phi[np.newaxis, :] / _TWO_PI + state.locks  # (C, P)
+        current, vote = self._solve_step(state.workspace, targets, state.current)
+        state.current = current
+        state.positions.append(current)
+        state.votes.append(vote)
+        state.deltas.append(delta_phi)
+        return current, vote
+
+    def finish(self, state: TraceState) -> list:
+        """Close an incremental trace and build the per-candidate results.
+
+        Evaluates the locked residuals along every solved path in one
+        engine call — the same single evaluation (same shapes, same BLAS
+        dispatch) the batch path performs, so results are bit-identical.
+        """
+        from repro.core.tracing import TraceResult
+
+        if not state.positions:
+            raise ValueError("cannot finish a trace with no ingested steps")
+        ws = state.workspace
+        bank = ws.bank
+        candidates = state.candidate_count
+        steps = state.step_count
+        pair_count = len(bank)
+        positions = np.stack(state.positions, axis=1)  # (C, T, 2)
+        votes = np.stack(state.votes, axis=1)  # (C, T)
+        delta = np.stack(state.deltas, axis=1)  # (P, T)
+        # (C, P, T) lobe-locked targets in cycles.
+        targets = delta[np.newaxis, :, :] / _TWO_PI + state.locks[:, :, np.newaxis]
 
         # Locked residuals along every solved path, in one evaluation.
-        world = self.plane.to_world(positions.reshape(-1, 2))
+        world = ws.plane.to_world(positions.reshape(-1, 2))
         path_diffs = bank.path_differences(world).reshape(
             candidates, steps, pair_count
         )
-        residuals = scale * path_diffs.transpose(0, 2, 1) - targets  # (C, P, T)
+        residuals = ws.scale * path_diffs.transpose(0, 2, 1) - targets  # (C, P, T)
 
         results = []
         for index in range(candidates):
             lock_dict = {
-                pair.ids: int(locks[index, p])
+                pair.ids: int(state.locks[index, p])
                 for p, pair in enumerate(bank.pairs)
             }
             results.append(
@@ -432,7 +555,7 @@ class BatchedTracer:
                     positions[index],
                     votes[index],
                     lock_dict,
-                    starts[index].copy(),
+                    state.starts[index].copy(),
                     residuals[index],
                 )
             )

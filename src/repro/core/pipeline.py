@@ -110,6 +110,14 @@ class RFIDrawSystem:
     ) -> ReconstructionResult:
         """Run the full pipeline on per-pair phase series.
 
+        This is now a thin batch facade over the streaming core: the
+        series is streamed instant-by-instant through a
+        :class:`repro.stream.session.TrackingSession` and finalized —
+        the streaming path is authoritative, batch is just "feed
+        everything, then finalize". (A reference tracer swapped into
+        :attr:`tracer` lacks the incremental ``begin``/``step`` API and
+        falls back to the equivalent one-shot ``trace_all`` pipeline.)
+
         Args:
             series: unwrapped Δφ series on a shared timeline (from
                 :func:`repro.rfid.sampling.build_pair_series`).
@@ -120,13 +128,66 @@ class RFIDrawSystem:
             A :class:`ReconstructionResult` with the chosen trajectory and
             all per-candidate diagnostics.
         """
+        if not hasattr(self.tracer, "begin"):
+            return self._reconstruct_with_reference_tracer(
+                series, candidate_count
+            )
+        session = self.open_session(candidate_count=candidate_count)
+        session.ingest_series(series)
+        return session.finalize()
+
+    def reconstruct_log(
+        self,
+        log,
+        epc_hex: str | None = None,
+        sample_rate: float = 20.0,
+        candidate_count: int | None = None,
+        **session_kwargs,
+    ) -> ReconstructionResult:
+        """Reconstruct straight from a raw measurement log.
+
+        Streams every report of ``log`` (a
+        :class:`repro.rfid.sampling.MeasurementLog` or an iterable of
+        reports) through a fresh :class:`TrackingSession` in time order
+        and finalizes — equivalent to building pair series and calling
+        :meth:`reconstruct`, without the intermediate structure.
+        """
+        from repro.rfid.sampling import MeasurementLog
+
+        session = self.open_session(
+            epc_hex=epc_hex,
+            sample_rate=sample_rate,
+            candidate_count=candidate_count,
+            **session_kwargs,
+        )
+        reports = log.reports if isinstance(log, MeasurementLog) else log
+        session.extend(reports)
+        return session.finalize()
+
+    def open_session(self, **kwargs):
+        """A fresh :class:`repro.stream.session.TrackingSession` over
+        this system's deployment, positioner and tracer. Keyword
+        arguments are forwarded to the session constructor."""
+        from repro.stream.session import TrackingSession
+
+        return TrackingSession(self, **kwargs)
+
+    def _reconstruct_with_reference_tracer(
+        self,
+        series: list[PairSeries],
+        candidate_count: int | None = None,
+    ) -> ReconstructionResult:
+        """The pre-streaming pipeline, for reference tracers.
+
+        :class:`repro.core.tracing.TrajectoryTracer` and
+        :class:`repro.core.tracing.GridTracer` expose ``trace_all`` but
+        not the incremental API; this path keeps them usable as drop-in
+        cross-checks.
+        """
         snapshot = snapshot_at(series, index=0)
         candidates = self.positioner.candidates(snapshot, candidate_count)
         if not candidates:
             raise ValueError("the positioner produced no candidates")
-        # Every tracer exposes trace_all; the engine's BatchedTracer
-        # advances all candidates in one solve, the reference tracers
-        # loop per candidate.
         starts = np.stack([candidate.position for candidate in candidates])
         traces = self.tracer.trace_all(series, starts)
         # Selection follows the paper: the trajectory whose summed vote

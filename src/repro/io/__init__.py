@@ -11,6 +11,7 @@ interchange formats:
 """
 
 from repro.io.logs import (
+    iter_phase_log,
     load_phase_log,
     load_trajectory,
     save_phase_log,
@@ -18,6 +19,7 @@ from repro.io.logs import (
 )
 
 __all__ = [
+    "iter_phase_log",
     "load_phase_log",
     "load_trajectory",
     "save_phase_log",

@@ -13,6 +13,7 @@ from repro.rfid.sampling import MeasurementLog
 
 __all__ = [
     "save_phase_log",
+    "iter_phase_log",
     "load_phase_log",
     "save_trajectory",
     "load_trajectory",
@@ -38,10 +39,16 @@ def save_phase_log(log: MeasurementLog, path) -> int:
     return len(log.reports)
 
 
-def load_phase_log(path) -> MeasurementLog:
-    """Read a JSONL phase log back into a :class:`MeasurementLog`."""
+def iter_phase_log(path):
+    """Yield the reports of a JSONL phase log, one line at a time.
+
+    This is the streaming entry point (what
+    :meth:`repro.stream.manager.SessionManager.replay` drives): the file
+    is read lazily, so an arbitrarily long recording replays in bounded
+    memory. Blank lines are skipped; a malformed line raises
+    :class:`ValueError` naming the file and line.
+    """
     path = Path(path)
-    reports = []
     with path.open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -49,21 +56,23 @@ def load_phase_log(path) -> MeasurementLog:
                 continue
             try:
                 record = json.loads(line)
-                reports.append(
-                    PhaseReport(
-                        time=float(record["time"]),
-                        epc_hex=str(record["epc_hex"]),
-                        reader_id=int(record["reader_id"]),
-                        antenna_id=int(record["antenna_id"]),
-                        phase=float(record["phase"]),
-                        rssi_dbm=float(record["rssi_dbm"]),
-                    )
+                yield PhaseReport(
+                    time=float(record["time"]),
+                    epc_hex=str(record["epc_hex"]),
+                    reader_id=int(record["reader_id"]),
+                    antenna_id=int(record["antenna_id"]),
+                    phase=float(record["phase"]),
+                    rssi_dbm=float(record["rssi_dbm"]),
                 )
             except (KeyError, ValueError, json.JSONDecodeError) as error:
                 raise ValueError(
                     f"{path}:{line_number}: malformed phase record: {error}"
                 ) from error
-    return MeasurementLog(reports)
+
+
+def load_phase_log(path) -> MeasurementLog:
+    """Read a whole JSONL phase log into a :class:`MeasurementLog`."""
+    return MeasurementLog(list(iter_phase_log(path)))
 
 
 def save_trajectory(times: np.ndarray, points: np.ndarray, path) -> None:

@@ -23,6 +23,8 @@ multi-resolution positioner resolves.
 
 from __future__ import annotations
 
+import heapq
+
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -54,8 +56,24 @@ class MeasurementLog:
         return len(self.reports)
 
     def extend(self, reports: list[PhaseReport]) -> None:
-        self.reports.extend(reports)
-        self.reports.sort(key=lambda report: report.time)
+        """Merge more reports in, keeping the log time-sorted.
+
+        A live session extends its log once per reader poll, so this
+        must not re-sort the whole history every call: the incoming
+        chunk is sorted on its own and *merged* in O(n+m) (or simply
+        appended when it starts at/after the current tail — the common
+        streaming case). Ties keep existing reports before new ones,
+        matching the previous stable full re-sort exactly.
+        """
+        if not reports:
+            return
+        incoming = sorted(reports, key=lambda report: report.time)
+        if not self.reports or incoming[0].time >= self.reports[-1].time:
+            self.reports.extend(incoming)
+            return
+        self.reports = list(
+            heapq.merge(self.reports, incoming, key=lambda report: report.time)
+        )
 
     def epcs(self) -> list[str]:
         seen: list[str] = []

@@ -1,0 +1,226 @@
+"""Multi-tag session management: route reports by EPC, emit lifecycle events.
+
+The paper's multi-user story (section 2: every tag carries a unique EPC,
+so many users can share one virtual touch screen) becomes first-class
+here: a :class:`SessionManager` owns one
+:class:`~repro.stream.session.TrackingSession` per tag, routes each
+incoming :class:`~repro.rfid.reader.PhaseReport` to its tag's session,
+and surfaces the session lifecycle as events/callbacks::
+
+    manager = SessionManager(system)
+    manager.on_session_started = lambda e: print("tag", e.epc_hex)
+    manager.on_point = lambda e: ui.draw(e.point.position)
+    for report in reader_loop():
+        manager.ingest(report)
+    results = manager.finalize_all()   # {epc_hex: ReconstructionResult}
+
+:meth:`SessionManager.replay` drives a recorded JSONL phase log through
+the manager by streaming the *file* lazily
+(:func:`repro.io.logs.iter_phase_log`) with bounded per-report work —
+the offline test harness for the streaming stack and the migration path
+for existing recorded sessions. (The sessions themselves still
+accumulate per-antenna and per-step history for ``finalize()``, plus the
+raw reports unless constructed with ``retain_reports=False``, so memory
+grows with recording length even though the file is never slurped.)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.core.pipeline import ReconstructionResult, RFIDrawSystem
+from repro.rfid.reader import PhaseReport
+from repro.stream.session import TrackingSession, TrajectoryPoint
+
+__all__ = ["SessionEventType", "SessionEvent", "SessionManager"]
+
+
+class SessionEventType(enum.Enum):
+    """What happened to a per-tag session."""
+
+    STARTED = "started"
+    POINT = "point"
+    FINALIZED = "finalized"
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One lifecycle event of one tag's session.
+
+    Attributes:
+        type: which lifecycle edge fired.
+        epc_hex: the tag.
+        session: the session the event belongs to.
+        point: the emitted point (``POINT`` events only).
+        result: the final reconstruction (``FINALIZED`` events only).
+    """
+
+    type: SessionEventType
+    epc_hex: str
+    session: TrackingSession
+    point: TrajectoryPoint | None = None
+    result: ReconstructionResult | None = None
+
+
+class SessionManager:
+    """Routes a merged multi-tag report stream to per-tag sessions.
+
+    Args:
+        system: the pipeline facade shared by every session (one
+            deployment/positioner/tracer serves all tags).
+        session_factory: builds the session for a newly seen EPC;
+            defaults to ``TrackingSession(system, epc_hex=epc,
+            **session_kwargs)``. Use it to give different tags different
+            tunables.
+        **session_kwargs: forwarded to the default factory.
+
+    Attributes:
+        on_session_started / on_point / on_session_finalized: optional
+            callbacks, each receiving a :class:`SessionEvent`.
+    """
+
+    def __init__(
+        self,
+        system: RFIDrawSystem,
+        session_factory: Callable[[str], TrackingSession] | None = None,
+        **session_kwargs,
+    ) -> None:
+        self.system = system
+        if session_factory is None:
+            def session_factory(epc_hex: str) -> TrackingSession:
+                return TrackingSession(
+                    system, epc_hex=epc_hex, **session_kwargs
+                )
+        elif session_kwargs:
+            raise ValueError(
+                "pass tunables through the custom session_factory, "
+                "not alongside it"
+            )
+        self.session_factory = session_factory
+        self.sessions: dict[str, TrackingSession] = {}
+        self.failures: dict[str, Exception] = {}
+        self.stragglers = 0
+        self.on_session_started: Callable[[SessionEvent], None] | None = None
+        self.on_point: Callable[[SessionEvent], None] | None = None
+        self.on_session_finalized: Callable[[SessionEvent], None] | None = None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+    def epcs(self) -> list[str]:
+        """EPCs with a session, in first-seen order."""
+        return list(self.sessions)
+
+    def session_for(self, epc_hex: str) -> TrackingSession:
+        """The session of a tag, creating (and announcing) it if new."""
+        session = self.sessions.get(epc_hex)
+        if session is None:
+            session = self.session_factory(epc_hex)
+            self.sessions[epc_hex] = session
+            self._fire(
+                self.on_session_started,
+                SessionEvent(SessionEventType.STARTED, epc_hex, session),
+            )
+        return session
+
+    def ingest(self, report: PhaseReport) -> list[SessionEvent]:
+        """Route one report; return the events it produced.
+
+        A straggler report for a tag whose session was already finalized
+        (the tag keeps replying after its gesture was closed out) is
+        dropped and counted in :attr:`stragglers` rather than crashing
+        the shared reader loop.
+        """
+        session = self.session_for(report.epc_hex)
+        if session.result is not None:
+            self.stragglers += 1
+            return []
+        events = []
+        for point in session.ingest(report):
+            event = SessionEvent(
+                SessionEventType.POINT, report.epc_hex, session, point=point
+            )
+            self._fire(self.on_point, event)
+            events.append(event)
+        return events
+
+    def extend(self, reports: Iterable[PhaseReport]) -> list[SessionEvent]:
+        """Route an iterable of reports; return all produced events."""
+        events: list[SessionEvent] = []
+        for report in reports:
+            events.extend(self.ingest(report))
+        return events
+
+    def finalize(self, epc_hex: str) -> ReconstructionResult:
+        """Finalize one tag's session and fire its lifecycle event."""
+        session = self.sessions[epc_hex]
+        already = session.result is not None
+        result = session.finalize()
+        if not already:
+            self._fire(
+                self.on_session_finalized,
+                SessionEvent(
+                    SessionEventType.FINALIZED, epc_hex, session, result=result
+                ),
+            )
+        return result
+
+    def finalize_all(
+        self, raise_errors: bool = False
+    ) -> dict[str, ReconstructionResult]:
+        """Finalize every session; ``{epc_hex: result}`` in seen order.
+
+        A session that cannot finalize — typically a ghost EPC from a
+        misread burst, whose handful of reports never warm up — must not
+        cost the other users their trajectories: by default its error is
+        recorded in :attr:`failures` (keyed by EPC) and the remaining
+        sessions still finalize. Pass ``raise_errors=True`` to propagate
+        the first failure instead.
+        """
+        results: dict[str, ReconstructionResult] = {}
+        for epc in self.sessions:
+            try:
+                results[epc] = self.finalize(epc)
+            except Exception as error:
+                if raise_errors:
+                    raise
+                self.failures[epc] = error
+        return results
+
+    # ------------------------------------------------------------------
+    def replay(
+        self, path, finalize: bool = True
+    ) -> dict[str, ReconstructionResult]:
+        """Stream a recorded JSONL phase log through the manager.
+
+        Reads the log lazily (:func:`repro.io.logs.iter_phase_log`) —
+        constant memory for the file itself and bounded work per report.
+        The per-tag sessions do retain tracking history (and, by
+        default, the raw reports) until finalized; build them with
+        ``retain_reports=False`` to shed the largest share of that.
+
+        Args:
+            path: the JSONL phase log.
+            finalize: finalize every session at end-of-log and return
+                the results; pass ``False`` to keep sessions open (e.g.
+                to replay several log segments back to back).
+
+        Returns:
+            ``{epc_hex: ReconstructionResult}`` (empty when
+            ``finalize=False``).
+        """
+        from repro.io.logs import iter_phase_log
+
+        for report in iter_phase_log(path):
+            self.ingest(report)
+        return self.finalize_all() if finalize else {}
+
+    @staticmethod
+    def _fire(
+        callback: Callable[[SessionEvent], None] | None, event: SessionEvent
+    ) -> None:
+        if callback is not None:
+            callback(event)

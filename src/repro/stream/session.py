@@ -1,0 +1,342 @@
+"""Per-tag streaming tracking sessions.
+
+A :class:`TrackingSession` is the online form of the batch pipeline: it
+ingests individual :class:`~repro.rfid.reader.PhaseReport`\\ s, maintains
+per-antenna unwrap/interpolation state incrementally (through
+:class:`repro.stream.resampler.StreamResampler`), runs the
+multi-resolution positioner once the warm-up instant fills, then advances
+the engine's :class:`~repro.core.engine.BatchedTracer` step by step via
+its incremental ``begin``/``step``/``finish`` API — emitting a
+:class:`TrajectoryPoint` per timeline instant with bounded per-report
+work.
+
+The design invariant, enforced by ``tests/test_stream_session.py``:
+feeding a finished log report-by-report and calling :meth:`finalize`
+produces the *same* :class:`~repro.core.pipeline.ReconstructionResult` as
+the batch ``RFIDrawSystem.reconstruct`` on that log — the batch facade is
+in fact implemented on top of this class (:meth:`ingest_series`).
+
+Lifecycle::
+
+    WARMING ──(warm-up instant fills: positioner runs)──▶ TRACKING
+    TRACKING ──(finalize)──▶ FINALIZED
+
+Degenerate streams (an antenna that never reaches the minimum read
+count, or a log too short for the timeline to start) fall back, at
+finalize time, to the batch series builder over the retained reports —
+so the session never answers differently from the batch path, it only
+answers *earlier* when the stream is healthy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.engine import TraceState
+from repro.core.pipeline import ReconstructionResult, RFIDrawSystem
+from repro.core.positioning import PositionCandidate
+from repro.geometry.antennas import AntennaPair
+from repro.rf.phase import wrap_to_pi
+from repro.rfid.reader import PhaseReport
+from repro.rfid.sampling import (
+    MeasurementLog,
+    PairSeries,
+    PhaseSnapshot,
+    build_pair_series,
+)
+from repro.stream.resampler import PairSample, StreamResampler
+
+__all__ = ["SessionState", "TrajectoryPoint", "TrackingSession"]
+
+
+class SessionState(enum.Enum):
+    """Where a session is in its lifecycle."""
+
+    WARMING = "warming"
+    TRACKING = "tracking"
+    FINALIZED = "finalized"
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One emitted trajectory instant (provisional until finalize).
+
+    Attributes:
+        index: timeline index of this instant.
+        time: the instant, in seconds.
+        position: ``(2,)`` plane position of the *currently best*
+            candidate (highest running vote sum) — the final trajectory
+            re-reads every instant from the candidate that wins overall.
+        candidate_index: which candidate supplied :attr:`position`.
+        vote: that candidate's Eq. 7 vote at this instant.
+    """
+
+    index: int
+    time: float
+    position: np.ndarray
+    candidate_index: int
+    vote: float
+
+
+class TrackingSession:
+    """Online reconstruction of one tag's trajectory.
+
+    Args:
+        system: the (batch) pipeline facade supplying the deployment,
+            plane, positioner and tracer. Streaming reuses its exact
+            components, which is what makes streaming ≡ batch.
+        epc_hex: only ingest reports of this tag — reports of other
+            tags are silently skipped (counted in
+            :attr:`skipped_foreign_reports`), mirroring the batch
+            builder's per-EPC filter. ``None`` accepts the first EPC
+            seen, pins to it, and then treats a different EPC as a
+            routing error (use a
+            :class:`~repro.stream.manager.SessionManager` to
+            demultiplex tags).
+        pairs: antenna pairs to difference (default: all same-reader
+            pairs of the system's deployment — the batch default).
+        sample_rate: shared timeline rate in Hz.
+        min_reads_per_antenna: the batch dead-antenna threshold.
+        candidate_count: how many initial candidates to trace (default:
+            the positioner's configured count).
+        out_of_order: per-antenna timestamp policy, see
+            :class:`~repro.stream.resampler.StreamResampler`.
+        retain_reports: keep raw reports so degenerate streams can fall
+            back to the batch builder at finalize. Disable for bounded
+            memory on healthy long-running streams.
+    """
+
+    def __init__(
+        self,
+        system: RFIDrawSystem,
+        epc_hex: str | None = None,
+        pairs: list[AntennaPair] | None = None,
+        sample_rate: float = 20.0,
+        min_reads_per_antenna: int = 4,
+        candidate_count: int | None = None,
+        out_of_order: str = "raise",
+        retain_reports: bool = True,
+    ) -> None:
+        self.system = system
+        self.epc_hex = epc_hex
+        self._epc_filtering = epc_hex is not None
+        self.skipped_foreign_reports = 0
+        self.pairs = (
+            list(pairs) if pairs is not None else system.deployment.pairs()
+        )
+        self.sample_rate = float(sample_rate)
+        self.min_reads_per_antenna = int(min_reads_per_antenna)
+        self.candidate_count = candidate_count
+        self.retain_reports = retain_reports
+        self.resampler = StreamResampler(
+            self.pairs,
+            sample_rate=self.sample_rate,
+            min_reads_per_antenna=self.min_reads_per_antenna,
+            out_of_order=out_of_order,
+        )
+        self.state = SessionState.WARMING
+        self.candidates: list[PositionCandidate] = []
+        self.points: list[TrajectoryPoint] = []
+        self.result: ReconstructionResult | None = None
+        self.report_count = 0
+        self._reports: list[PhaseReport] = []
+        self._trace_state: TraceState | None = None
+        self._running_votes: np.ndarray | None = None
+        self._times: list[float] = []
+        self._series_mode = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_tracking(self) -> bool:
+        return self.state is SessionState.TRACKING
+
+    @property
+    def point_count(self) -> int:
+        return len(self.points)
+
+    def latest_point(self) -> TrajectoryPoint | None:
+        return self.points[-1] if self.points else None
+
+    # ------------------------------------------------------------------
+    # Streaming ingest
+    # ------------------------------------------------------------------
+    def ingest(self, report: PhaseReport) -> list[TrajectoryPoint]:
+        """Fold one phase report in; return any newly emitted points."""
+        if self.state is SessionState.FINALIZED:
+            raise ValueError("cannot ingest into a finalized session")
+        if self._series_mode:
+            raise ValueError(
+                "this session consumes prebuilt series, not raw reports"
+            )
+        if self.epc_hex is None:
+            self.epc_hex = report.epc_hex
+        elif report.epc_hex != self.epc_hex:
+            if self._epc_filtering:
+                # An explicitly pinned session acts like the batch
+                # builder's per-EPC filter: foreign tags just pass by.
+                self.skipped_foreign_reports += 1
+                return []
+            raise ValueError(
+                f"report for tag {report.epc_hex} routed to the session "
+                f"tracking {self.epc_hex} (use a SessionManager to "
+                "demultiplex tags)"
+            )
+        self.report_count += 1
+        if self.retain_reports:
+            self._reports.append(report)
+        emitted: list[TrajectoryPoint] = []
+        for sample in self.resampler.ingest(report):
+            emitted.append(self._on_sample(sample))
+        return emitted
+
+    def extend(self, reports) -> list[TrajectoryPoint]:
+        """Ingest an iterable of reports; return all emitted points."""
+        emitted: list[TrajectoryPoint] = []
+        for report in reports:
+            emitted.extend(self.ingest(report))
+        return emitted
+
+    # ------------------------------------------------------------------
+    # Prebuilt-series ingest (the batch facade's path)
+    # ------------------------------------------------------------------
+    def ingest_series(self, series: list[PairSeries]) -> list[TrajectoryPoint]:
+        """Stream already-resampled pair series through the session.
+
+        This is how the batch facade routes through the streaming core:
+        each timeline instant of the prebuilt series is fed to the same
+        incremental positioner/tracer machinery a live stream drives.
+        The session must be fresh (no raw reports ingested).
+        """
+        if self.state is not SessionState.WARMING or self.points:
+            raise ValueError(
+                "ingest_series needs a fresh session (nothing ingested yet)"
+            )
+        if not series:
+            raise ValueError("no pair series given")
+        length = len(series[0])
+        if length == 0:
+            raise ValueError("pair series are empty")
+        if not all(len(entry) == length for entry in series):
+            raise ValueError("pair series do not share a timeline")
+        self._series_mode = True
+        self.pairs = [entry.pair for entry in series]
+        delta = np.stack([entry.delta_phi for entry in series])  # (P, T)
+        times = series[0].times
+        emitted: list[TrajectoryPoint] = []
+        for index in range(length):
+            sample = PairSample(
+                index=index, time=float(times[index]), delta_phi=delta[:, index]
+            )
+            emitted.append(self._on_sample(sample))
+        return emitted
+
+    # ------------------------------------------------------------------
+    # The incremental core
+    # ------------------------------------------------------------------
+    def _on_sample(self, sample: PairSample) -> TrajectoryPoint:
+        """Advance the tracker by one timeline instant."""
+        tracer = self.system.tracer
+        if self.state is SessionState.WARMING:
+            # Warm-up instant: run the multi-resolution positioner on
+            # the first snapshot, lock lobes, seed every candidate —
+            # exactly the batch pipeline's front half.
+            snapshot = PhaseSnapshot(
+                pairs=self.pairs,
+                delta_phi=np.array(
+                    [wrap_to_pi(value) for value in sample.delta_phi]
+                ),
+                time=sample.time,
+            )
+            self.candidates = self.system.positioner.candidates(
+                snapshot, self.candidate_count
+            )
+            if not self.candidates:
+                raise ValueError("the positioner produced no candidates")
+            starts = np.stack(
+                [candidate.position for candidate in self.candidates]
+            )
+            self._trace_state = tracer.begin(
+                self.pairs, sample.delta_phi, starts
+            )
+            self._running_votes = np.zeros(len(self.candidates))
+            self.state = SessionState.TRACKING
+        positions, votes = tracer.step(self._trace_state, sample.delta_phi)
+        self._running_votes += votes
+        best = int(np.argmax(self._running_votes))
+        point = TrajectoryPoint(
+            index=sample.index,
+            time=sample.time,
+            position=positions[best].copy(),
+            candidate_index=best,
+            vote=float(votes[best]),
+        )
+        self._times.append(sample.time)
+        self.points.append(point)
+        return point
+
+    # ------------------------------------------------------------------
+    # Finalize
+    # ------------------------------------------------------------------
+    def finalize(self) -> ReconstructionResult:
+        """Drain the timeline tail and pick the winning trajectory.
+
+        Returns the same :class:`ReconstructionResult` the batch
+        pipeline computes on the equivalent finished log.
+        """
+        if self.state is SessionState.FINALIZED:
+            assert self.result is not None
+            return self.result
+        if not self._series_mode:
+            for sample in self.resampler.drain():
+                self._on_sample(sample)
+        if self.state is not SessionState.TRACKING:
+            return self._finalize_fallback()
+        traces = self.system.tracer.finish(self._trace_state)
+        chosen = int(np.argmax([trace.total_vote for trace in traces]))
+        self.result = ReconstructionResult(
+            times=np.asarray(self._times, dtype=float),
+            chosen_index=chosen,
+            candidates=self.candidates,
+            traces=traces,
+        )
+        self.state = SessionState.FINALIZED
+        return self.result
+
+    def _finalize_fallback(self) -> ReconstructionResult:
+        """Degenerate stream: defer to the batch builder over raw reports.
+
+        Streams whose timeline never started (dead antenna, too few
+        reads) are exactly the inputs the batch path handles by dropping
+        pairs — replaying the retained reports through it keeps the
+        streaming API's answers identical to batch on every input.
+        """
+        if not self.retain_reports:
+            raise ValueError(
+                "stream never warmed up and retain_reports=False left "
+                "nothing to fall back on"
+            )
+        if not self._reports:
+            raise ValueError("cannot finalize an empty session")
+        log = MeasurementLog(list(self._reports))
+        series = build_pair_series(
+            log,
+            self.system.deployment,
+            epc_hex=self.epc_hex,
+            pairs=self.pairs,
+            sample_rate=self.sample_rate,
+            min_reads_per_antenna=self.min_reads_per_antenna,
+        )
+        fallback = TrackingSession(
+            self.system, candidate_count=self.candidate_count
+        )
+        fallback.ingest_series(series)
+        self.points = fallback.points
+        self.candidates = fallback.candidates
+        self.result = fallback.finalize()
+        self.state = SessionState.FINALIZED
+        return self.result

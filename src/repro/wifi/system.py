@@ -24,7 +24,9 @@ from repro.geometry.plane import WritingPlane, writing_plane
 from repro.rf.channel import BackscatterChannel, Environment
 from repro.rf.constants import wavelength_of
 from repro.rf.noise import PhaseNoiseModel
-from repro.rfid.sampling import PairSeries
+from repro.rf.phase import wrap_to_two_pi
+from repro.rfid.reader import PhaseReport
+from repro.rfid.sampling import MeasurementLog, PairSeries
 
 __all__ = [
     "WIFI_5GHZ_FREQUENCY",
@@ -118,25 +120,9 @@ class WifiTracker:
         Each packet yields one phase per AP antenna (CSI gives all chains
         simultaneously, unlike the RFID reader's port multiplexing).
         """
-        trajectory_uv = np.asarray(trajectory_uv, dtype=float)
-        times = np.asarray(times, dtype=float)
-        packet_count = max(2, int((times[-1] - times[0]) * packet_rate))
-        packet_times = np.linspace(times[0], times[-1], packet_count)
-        u = np.interp(packet_times, times, trajectory_uv[:, 0])
-        v = np.interp(packet_times, times, trajectory_uv[:, 1])
-        world = self.plane.to_world(np.stack([u, v], axis=1))
-
-        # One-way unwrapped phase per antenna (+ per-packet noise), then
-        # pair differences — the CSI pipeline equivalent of sampling.py.
-        per_antenna: dict[int, np.ndarray] = {}
-        for antenna in self.deployment:
-            distances = antenna.distance_to(world)
-            clean = -2.0 * np.pi * distances / self.wavelength
-            noisy = clean + rng.normal(
-                0.0, self.phase_noise.sigma, size=clean.shape
-            )
-            per_antenna[antenna.antenna_id] = noisy
-
+        packet_times, per_antenna = self._packet_phases(
+            trajectory_uv, times, rng, packet_rate
+        )
         series = []
         for pair in self.deployment.pairs():
             delta = (
@@ -146,6 +132,94 @@ class WifiTracker:
             series.append(PairSeries(pair, packet_times, delta))
         return series
 
+    def observe_log(
+        self,
+        trajectory_uv: np.ndarray,
+        times: np.ndarray,
+        rng: np.random.Generator,
+        packet_rate: float = 100.0,
+        epc_hex: str = "wifi-station-01",
+    ) -> MeasurementLog:
+        """Simulate per-packet CSI phases as a *report stream*.
+
+        The streaming counterpart of :meth:`observe`: each packet yields
+        one wrapped per-antenna :class:`PhaseReport` (a CSI extractor
+        reports phase modulo 2π just like an RFID reader does), merged
+        into a time-sorted :class:`MeasurementLog` that can be replayed
+        through either the batch series builder or a
+        :class:`~repro.stream.session.TrackingSession` — feeding both
+        from one log is how streaming↔batch equivalence is tested on the
+        one-way (``round_trip=1``) configuration.
+        """
+        packet_times, per_antenna = self._packet_phases(
+            trajectory_uv, times, rng, packet_rate
+        )
+        antenna_of = {a.antenna_id: a for a in self.deployment}
+        reports: list[PhaseReport] = []
+        for antenna_id, noisy in per_antenna.items():
+            antenna = antenna_of[antenna_id]
+            wrapped = wrap_to_two_pi(noisy)
+            for when, phase in zip(packet_times, wrapped):
+                reports.append(
+                    PhaseReport(
+                        time=float(when),
+                        epc_hex=epc_hex,
+                        reader_id=antenna.reader_id,
+                        antenna_id=antenna.antenna_id,
+                        phase=float(phase),
+                        rssi_dbm=-45.0,
+                    )
+                )
+        return MeasurementLog(reports)
+
+    def _packet_phases(
+        self,
+        trajectory_uv: np.ndarray,
+        times: np.ndarray,
+        rng: np.random.Generator,
+        packet_rate: float,
+    ) -> tuple[np.ndarray, dict[int, np.ndarray]]:
+        """Per-packet noisy one-way phase of every AP antenna.
+
+        The CSI phase model shared by :meth:`observe` (which differences
+        pairs directly) and :meth:`observe_log` (which wraps the same
+        phases into reader-style reports): one packet timeline, then per
+        antenna ``−2πd/λ`` plus per-packet Gaussian noise.
+        """
+        trajectory_uv = np.asarray(trajectory_uv, dtype=float)
+        times = np.asarray(times, dtype=float)
+        packet_count = max(2, int((times[-1] - times[0]) * packet_rate))
+        packet_times = np.linspace(times[0], times[-1], packet_count)
+        u = np.interp(packet_times, times, trajectory_uv[:, 0])
+        v = np.interp(packet_times, times, trajectory_uv[:, 1])
+        world = self.plane.to_world(np.stack([u, v], axis=1))
+
+        per_antenna: dict[int, np.ndarray] = {}
+        for antenna in self.deployment:
+            distances = antenna.distance_to(world)
+            clean = -2.0 * np.pi * distances / self.wavelength
+            per_antenna[antenna.antenna_id] = clean + rng.normal(
+                0.0, self.phase_noise.sigma, size=clean.shape
+            )
+        return packet_times, per_antenna
+
+    def open_session(self, sample_rate: float = 20.0, **kwargs):
+        """A streaming session over the WiFi-band deployment.
+
+        Per-packet phase reports (e.g. from :meth:`observe_log`, or a
+        live CSI extractor) stream straight in; the unchanged RF-IDraw
+        core runs with ``round_trip=1`` and the WiFi wavelength.
+        """
+        return self.system.open_session(sample_rate=sample_rate, **kwargs)
+
     def reconstruct(self, series: list[PairSeries]) -> ReconstructionResult:
         """Run the unchanged multi-resolution + tracing pipeline."""
         return self.system.reconstruct(series)
+
+    def reconstruct_log(
+        self, log: MeasurementLog, sample_rate: float = 20.0, **kwargs
+    ) -> ReconstructionResult:
+        """Stream a recorded packet log through a session and finalize."""
+        return self.system.reconstruct_log(
+            log, sample_rate=sample_rate, **kwargs
+        )

@@ -327,3 +327,96 @@ class TestPipelineUsesEngine:
             engine_result.trajectory - reference_result.trajectory, axis=1
         ).max()
         assert gap < 1e-4
+
+
+class TestIncrementalStepAPI:
+    """begin()/step()/finish() must reproduce trace_all exactly.
+
+    The streaming session leans on this: it drives the tracer one
+    timeline instant at a time and still owes the caller the batch
+    answer bit-for-bit.
+    """
+
+    def make_series(self, deployment, plane, wavelength, rng):
+        uv = word_like_uv()
+        times = np.linspace(0, 3.5, uv.shape[0])
+        series = ideal_pair_series(deployment, plane, uv, times, wavelength)
+        for entry in series:
+            entry.delta_phi = entry.delta_phi + rng.normal(
+                0.0, 0.08, size=entry.delta_phi.shape
+            )
+        return series, uv
+
+    def test_stepwise_equals_trace_all(
+        self, deployment, plane, wavelength, rng
+    ):
+        series, uv = self.make_series(deployment, plane, wavelength, rng)
+        starts = np.stack(
+            [uv[0], uv[0] + np.array([0.18, -0.12]), uv[0] + 0.2]
+        )
+        tracer = BatchedTracer(plane, wavelength)
+        batch = tracer.trace_all(series, starts)
+
+        delta = np.stack([entry.delta_phi for entry in series])
+        state = tracer.begin(
+            [entry.pair for entry in series], delta[:, 0], starts
+        )
+        for step in range(delta.shape[1]):
+            positions, votes = tracer.step(state, delta[:, step])
+            assert positions.shape == (starts.shape[0], 2)
+            assert votes.shape == (starts.shape[0],)
+        stepwise = tracer.finish(state)
+
+        for ours, theirs in zip(stepwise, batch):
+            assert np.array_equal(ours.positions, theirs.positions)
+            assert np.array_equal(ours.votes, theirs.votes)
+            assert np.array_equal(ours.residuals, theirs.residuals)
+            assert ours.locks == theirs.locks
+
+    def test_running_votes_accumulate(
+        self, deployment, plane, wavelength, rng
+    ):
+        series, uv = self.make_series(deployment, plane, wavelength, rng)
+        tracer = BatchedTracer(plane, wavelength)
+        delta = np.stack([entry.delta_phi for entry in series])
+        state = tracer.begin(
+            [entry.pair for entry in series],
+            delta[:, 0],
+            uv[0][np.newaxis, :],
+        )
+        assert np.array_equal(state.running_total_votes(), np.zeros(1))
+        total = 0.0
+        for step in range(delta.shape[1]):
+            _, votes = tracer.step(state, delta[:, step])
+            total += float(votes[0])
+        assert state.step_count == delta.shape[1]
+        assert state.running_total_votes()[0] == pytest.approx(total)
+
+    def test_begin_validates_inputs(self, deployment, plane, wavelength, rng):
+        series, uv = self.make_series(deployment, plane, wavelength, rng)
+        tracer = BatchedTracer(plane, wavelength)
+        pairs = [entry.pair for entry in series]
+        with pytest.raises(ValueError, match="one Δφ per pair"):
+            tracer.begin(pairs, np.zeros(3), uv[0][np.newaxis, :])
+        with pytest.raises(ValueError, match="plane coordinates"):
+            tracer.begin(pairs, np.zeros(len(pairs)), np.zeros((2, 3)))
+
+    def test_step_validates_width(self, deployment, plane, wavelength, rng):
+        series, uv = self.make_series(deployment, plane, wavelength, rng)
+        tracer = BatchedTracer(plane, wavelength)
+        delta = np.stack([entry.delta_phi for entry in series])
+        state = tracer.begin(
+            [entry.pair for entry in series], delta[:, 0], uv[0][np.newaxis]
+        )
+        with pytest.raises(ValueError, match="one Δφ per pair"):
+            tracer.step(state, np.zeros(delta.shape[0] + 1))
+
+    def test_finish_requires_steps(self, deployment, plane, wavelength, rng):
+        series, uv = self.make_series(deployment, plane, wavelength, rng)
+        tracer = BatchedTracer(plane, wavelength)
+        delta = np.stack([entry.delta_phi for entry in series])
+        state = tracer.begin(
+            [entry.pair for entry in series], delta[:, 0], uv[0][np.newaxis]
+        )
+        with pytest.raises(ValueError, match="no ingested steps"):
+            tracer.finish(state)

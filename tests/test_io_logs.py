@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.io import (
+    iter_phase_log,
     load_phase_log,
     load_trajectory,
     save_phase_log,
@@ -52,6 +53,41 @@ class TestPhaseLogs:
         path.write_text('{"time": 1.0}\n')
         with pytest.raises(ValueError, match="bad.jsonl:1"):
             load_phase_log(path)
+
+    def test_iter_streams_lazily(self, tmp_path):
+        """iter_phase_log yields file-order reports without slurping."""
+        import types
+
+        log = make_log()
+        path = tmp_path / "session.jsonl"
+        save_phase_log(log, path)
+        iterator = iter_phase_log(path)
+        assert isinstance(iterator, types.GeneratorType)
+        streamed = list(iterator)
+        # File order is the log's (sorted) write order, pre-MeasurementLog.
+        assert streamed == log.reports
+
+    def test_iter_malformed_line_mid_stream(self, tmp_path):
+        import itertools
+
+        log = make_log()
+        path = tmp_path / "session.jsonl"
+        save_phase_log(log, path)
+        path.write_text(path.read_text() + "not json\n")
+        iterator = iter_phase_log(path)
+        assert len(list(itertools.islice(iterator, 3))) == 3
+        with pytest.raises(ValueError, match="session.jsonl:4"):
+            next(iterator)
+
+    def test_load_reuses_iterator(self, tmp_path):
+        """load_phase_log == MeasurementLog over the streamed reports."""
+        log = make_log()
+        path = tmp_path / "session.jsonl"
+        save_phase_log(log, path)
+        assert (
+            MeasurementLog(list(iter_phase_log(path))).reports
+            == load_phase_log(path).reports
+        )
 
     def test_replay_through_pipeline(self, tmp_path, deployment, free_channel, rng):
         """A saved session replays identically through build_pair_series."""

@@ -31,6 +31,48 @@ class TestMeasurementLog:
         log.extend([report(1.0, 2, 0.1)])
         assert [r.time for r in log.reports] == [1.0, 2.0]
 
+    def test_interleaved_extends(self):
+        """Repeated merges of interleaved chunks (the streaming pattern)."""
+        rng = np.random.default_rng(5)
+        log = MeasurementLog([])
+        everything = []
+        for _chunk in range(7):
+            times = rng.uniform(0.0, 4.0, size=11)
+            chunk = [
+                report(float(t), int(1 + i % 3), 0.1 * i)
+                for i, t in enumerate(times)
+            ]
+            everything.extend(chunk)
+            log.extend(list(chunk))  # extend must not mutate its input
+        assert len(log) == len(everything)
+        assert [r.time for r in log.reports] == sorted(
+            r.time for r in everything
+        )
+        # Merging in chunks equals one sorted bulk construction.
+        assert log.reports == MeasurementLog(everything).reports
+
+    def test_extend_tie_keeps_existing_first(self):
+        first = report(1.0, 1, 0.1)
+        second = report(1.0, 2, 0.2)
+        log = MeasurementLog([first])
+        log.extend([second])
+        assert log.reports == [first, second]
+        # Same tie arriving below the tail goes through the merge path.
+        log2 = MeasurementLog([first, report(2.0, 3, 0.3)])
+        log2.extend([second])
+        assert log2.reports[:2] == [first, second]
+
+    def test_extend_appends_in_order_chunks_fast_path(self):
+        log = MeasurementLog([report(0.5, 1, 0.1)])
+        log.extend([report(0.5, 2, 0.2), report(0.7, 1, 0.3)])
+        assert [r.time for r in log.reports] == [0.5, 0.5, 0.7]
+        assert log.reports[0].antenna_id == 1
+
+    def test_extend_empty_is_noop(self):
+        log = MeasurementLog([report(1.0, 1, 0.2)])
+        log.extend([])
+        assert len(log) == 1
+
     def test_antenna_series_filters(self):
         log = MeasurementLog(
             [report(0.0, 1, 0.1), report(0.5, 2, 0.2), report(1.0, 1, 0.3)]

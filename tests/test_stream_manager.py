@@ -1,0 +1,233 @@
+"""SessionManager routing, lifecycle events and JSONL replay."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import RFIDrawSystem
+from repro.geometry.layouts import rfidraw_layout
+from repro.geometry.plane import writing_plane
+from repro.io.logs import save_phase_log
+from repro.rf.channel import BackscatterChannel, Environment
+from repro.rf.constants import DEFAULT_WAVELENGTH
+from repro.rf.noise import PhaseNoiseModel
+from repro.rfid.epc import Epc96
+from repro.rfid.reader import Reader
+from repro.rfid.sampling import MeasurementLog, build_pair_series
+from repro.rfid.tag import PassiveTag
+from repro.stream import SessionEventType, SessionManager, TrackingSession
+
+
+@pytest.fixture(scope="module")
+def two_tag_world():
+    """Two static-ish tags inventoried through the shared air protocol."""
+    wavelength = DEFAULT_WAVELENGTH
+    deployment = rfidraw_layout(wavelength)
+    plane = writing_plane(2.0)
+    channel = BackscatterChannel(Environment.free_space(), wavelength)
+    rng = np.random.default_rng(314)
+    positions = {
+        5: np.array([0.8, 1.1]),
+        6: np.array([1.8, 1.4]),
+    }
+
+    def position_at(serial, when):
+        base = positions[serial]
+        # A slow drift so the tracer has something to follow.
+        return plane.to_world(base + np.array([0.02, 0.015]) * when)
+
+    tags = [
+        PassiveTag(Epc96.with_serial(serial), position_at(serial, 0.0))
+        for serial in positions
+    ]
+    reports = []
+    for reader_id in deployment.reader_ids:
+        reader = Reader(
+            reader_id,
+            deployment.antennas_of_reader(reader_id),
+            channel,
+            PhaseNoiseModel(sigma=0.05),
+            dwell_time=0.04,
+        )
+        reports.extend(
+            reader.inventory(tags, 1.6, rng, position_at=position_at)
+        )
+    log = MeasurementLog(reports)
+    system = RFIDrawSystem(deployment, plane, wavelength)
+    return system, deployment, log, tags
+
+
+class TestRouting:
+    def test_one_session_per_epc(self, two_tag_world):
+        system, _deployment, log, tags = two_tag_world
+        manager = SessionManager(system, candidate_count=2)
+        manager.extend(log.reports)
+        assert len(manager) == 2
+        assert sorted(manager.epcs()) == sorted(
+            tag.epc.to_hex() for tag in tags
+        )
+
+    def test_results_match_per_tag_batch(self, two_tag_world):
+        """Routing through the manager == filtering the log per EPC."""
+        system, deployment, log, tags = two_tag_world
+        manager = SessionManager(system, candidate_count=2)
+        manager.extend(log.reports)
+        results = manager.finalize_all()
+        for tag in tags:
+            epc = tag.epc.to_hex()
+            series = build_pair_series(log, deployment, epc_hex=epc)
+            batch = system.reconstruct(series, candidate_count=2)
+            assert (
+                np.abs(results[epc].trajectory - batch.trajectory).max()
+                <= 1e-9
+            )
+            assert np.abs(results[epc].times - batch.times).max() <= 1e-9
+
+    def test_reconstruct_log_filters_multi_tag(self, two_tag_world):
+        """reconstruct_log(epc_hex=…) on a shared log == per-tag batch."""
+        system, deployment, log, tags = two_tag_world
+        epc = tags[0].epc.to_hex()
+        series = build_pair_series(log, deployment, epc_hex=epc)
+        batch = system.reconstruct(series)
+        stream = system.reconstruct_log(log, epc_hex=epc)
+        assert np.abs(stream.trajectory - batch.trajectory).max() <= 1e-9
+        assert np.abs(stream.times - batch.times).max() <= 1e-9
+
+    def test_custom_factory(self, two_tag_world):
+        system, _deployment, log, _tags = two_tag_world
+        built = []
+
+        def factory(epc_hex):
+            built.append(epc_hex)
+            return TrackingSession(system, epc_hex=epc_hex, candidate_count=1)
+
+        manager = SessionManager(system, session_factory=factory)
+        manager.extend(log.reports[:50])
+        assert len(built) == len(manager)
+
+    def test_factory_and_kwargs_conflict(self, two_tag_world):
+        system, *_ = two_tag_world
+        with pytest.raises(ValueError, match="session_factory"):
+            SessionManager(
+                system,
+                session_factory=lambda epc: TrackingSession(system),
+                candidate_count=2,
+            )
+
+
+class TestLifecycleEvents:
+    def test_event_sequence(self, two_tag_world):
+        system, _deployment, log, tags = two_tag_world
+        manager = SessionManager(system, candidate_count=2)
+        seen = {"started": [], "points": 0, "finalized": []}
+        manager.on_session_started = lambda e: seen["started"].append(e.epc_hex)
+        manager.on_session_finalized = lambda e: seen["finalized"].append(
+            e.epc_hex
+        )
+
+        def count_point(event):
+            assert event.type is SessionEventType.POINT
+            assert event.point is not None
+            seen["points"] += 1
+
+        manager.on_point = count_point
+        events = manager.extend(log.reports)
+        results = manager.finalize_all()
+        assert sorted(seen["started"]) == sorted(
+            tag.epc.to_hex() for tag in tags
+        )
+        assert seen["points"] == len(events) > 0
+        assert sorted(seen["finalized"]) == sorted(seen["started"])
+        assert set(results) == set(seen["started"])
+
+    def test_straggler_reports_after_finalize_are_dropped(
+        self, two_tag_world
+    ):
+        """A tag still replying after its session closed must not crash
+        the shared reader loop."""
+        system, _deployment, log, _tags = two_tag_world
+        manager = SessionManager(system, candidate_count=2)
+        manager.extend(log.reports)
+        epc = manager.epcs()[0]
+        manager.finalize(epc)
+        straggler = next(r for r in log.reports if r.epc_hex == epc)
+        assert manager.ingest(straggler) == []
+        assert manager.stragglers == 1
+        # Sessions still open keep ingesting normally.
+        from repro.rfid.reader import PhaseReport
+
+        other_epc = next(e for e in manager.epcs() if e != epc)
+        late = PhaseReport(
+            log.reports[-1].time + 0.01, other_epc, 1, 1, 1.0, -60.0
+        )
+        manager.ingest(late)  # must not raise
+
+    def test_finalize_fires_once(self, two_tag_world):
+        system, _deployment, log, _tags = two_tag_world
+        manager = SessionManager(system, candidate_count=2)
+        manager.extend(log.reports)
+        fired = []
+        manager.on_session_finalized = lambda e: fired.append(e.epc_hex)
+        epc = manager.epcs()[0]
+        manager.finalize(epc)
+        manager.finalize(epc)
+        assert fired == [epc]
+
+
+class TestGhostTags:
+    def test_ghost_epc_does_not_sink_real_sessions(self, two_tag_world):
+        """A misread burst (ghost EPC, few reads) fails alone."""
+        from repro.rfid.reader import PhaseReport
+
+        system, _deployment, log, tags = two_tag_world
+        manager = SessionManager(system, candidate_count=2)
+        manager.extend(log.reports)
+        ghost = "DEADBEEF" * 3
+        manager.ingest(PhaseReport(0.5, ghost, 1, 1, 1.0, -70.0))
+        results = manager.finalize_all()
+        assert set(results) == {tag.epc.to_hex() for tag in tags}
+        assert set(manager.failures) == {ghost}
+        assert isinstance(manager.failures[ghost], ValueError)
+
+    def test_raise_errors_propagates(self, two_tag_world):
+        from repro.rfid.reader import PhaseReport
+
+        system, *_ = two_tag_world
+        manager = SessionManager(system, candidate_count=2)
+        manager.ingest(PhaseReport(0.5, "DEADBEEF" * 3, 1, 1, 1.0, -70.0))
+        with pytest.raises(ValueError):
+            manager.finalize_all(raise_errors=True)
+
+
+class TestReplay:
+    def test_replay_jsonl_matches_live(self, two_tag_world, tmp_path):
+        """Streaming a saved JSONL log == streaming the live reports."""
+        system, _deployment, log, _tags = two_tag_world
+        path = tmp_path / "session.jsonl"
+        save_phase_log(log, path)
+
+        live = SessionManager(system, candidate_count=2)
+        live.extend(log.reports)
+        live_results = live.finalize_all()
+
+        replayed = SessionManager(system, candidate_count=2)
+        replay_results = replayed.replay(path)
+        assert set(replay_results) == set(live_results)
+        for epc, result in live_results.items():
+            assert (
+                np.abs(
+                    replay_results[epc].trajectory - result.trajectory
+                ).max()
+                <= 1e-9
+            )
+
+    def test_replay_without_finalize_keeps_sessions_open(
+        self, two_tag_world, tmp_path
+    ):
+        system, _deployment, log, _tags = two_tag_world
+        path = tmp_path / "session.jsonl"
+        save_phase_log(log, path)
+        manager = SessionManager(system, candidate_count=2)
+        assert manager.replay(path, finalize=False) == {}
+        assert all(
+            session.result is None for session in manager.sessions.values()
+        )

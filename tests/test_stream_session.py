@@ -1,0 +1,290 @@
+"""Streaming ↔ batch equivalence and TrackingSession lifecycle tests.
+
+The load-bearing property: feeding a simulated word's reports one at a
+time through a :class:`TrackingSession` reproduces the batch
+``RFIDrawSystem.reconstruct`` on the same log to ≤ 1e-9 (in practice
+bit-for-bit, since batch is a facade over the streaming core) — across
+seeds, LOS/NLOS environments and the one-way WiFi configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import RFIDrawSystem
+from repro.experiments.scenarios import ScenarioConfig, simulate_word
+from repro.motion.gestures import circle
+from repro.rfid.reader import PhaseReport
+from repro.rfid.sampling import build_pair_series
+from repro.stream import SessionState, StreamResampler, TrackingSession
+from repro.wifi.system import WifiTracker
+
+from tests.helpers import ideal_pair_series
+
+TOLERANCE = 1e-9
+
+
+def _assert_results_equivalent(batch, stream):
+    assert stream.chosen_index == batch.chosen_index
+    assert np.abs(stream.times - batch.times).max() <= TOLERANCE
+    assert np.abs(stream.trajectory - batch.trajectory).max() <= TOLERANCE
+    assert np.abs(stream.votes - batch.votes).max() <= TOLERANCE
+    assert len(stream.candidates) == len(batch.candidates)
+    for ours, theirs in zip(stream.candidates, batch.candidates):
+        assert np.abs(ours.position - theirs.position).max() <= TOLERANCE
+    for ours, theirs in zip(stream.traces, batch.traces):
+        assert np.abs(ours.positions - theirs.positions).max() <= TOLERANCE
+        assert ours.locks == theirs.locks
+        assert np.abs(ours.residuals - theirs.residuals).max() <= TOLERANCE
+
+
+class TestStreamingMatchesBatch:
+    @pytest.mark.parametrize(
+        "word,seed,los",
+        [
+            ("on", 3, True),
+            ("he", 11, True),
+            ("on", 5, False),
+        ],
+    )
+    def test_rfid_word_equivalence(self, word, seed, los):
+        """Report-by-report streaming == batch, LOS and NLOS, per seed."""
+        run = simulate_word(
+            word,
+            user=seed % 5,
+            seed=seed,
+            config=ScenarioConfig(distance=2.0, los=los),
+            run_baseline=False,
+        )
+        batch = run.system.reconstruct(run.rfidraw_series)
+        session = run.system.open_session(sample_rate=run.config.sample_rate)
+        emitted = []
+        for report in run.rfidraw_log.reports:
+            emitted.extend(session.ingest(report))
+        result = session.finalize()
+        _assert_results_equivalent(batch, result)
+        # Most points stream out live; only the timeline tail waits for
+        # finalize.
+        assert len(emitted) >= len(result.times) - 3
+        assert session.state is SessionState.FINALIZED
+
+    def test_wifi_one_way_equivalence(self):
+        """The round_trip=1 WiFi configuration streams == batch too."""
+        tracker = WifiTracker()
+        times, points = circle(center=(0.22, 0.22), radius=0.05, speed=0.15)
+        log = tracker.observe_log(points, times, np.random.default_rng(9))
+        series = build_pair_series(log, tracker.deployment, sample_rate=20.0)
+        batch = tracker.reconstruct(series)
+        stream = tracker.reconstruct_log(log, sample_rate=20.0)
+        _assert_results_equivalent(batch, stream)
+
+    def test_facade_routes_through_session(
+        self, deployment, plane, wavelength, rng
+    ):
+        """reconstruct(series) == an explicit session fed the series."""
+        t = np.linspace(0, 2 * np.pi, 70)
+        uv = np.stack(
+            [1.25 + 0.07 * np.cos(2 * t), 1.15 + 0.06 * np.sin(3 * t)], axis=1
+        )
+        times = np.linspace(0, 3.5, uv.shape[0])
+        series = ideal_pair_series(deployment, plane, uv, times, wavelength)
+        for entry in series:
+            entry.delta_phi = entry.delta_phi + rng.normal(
+                0.0, 0.05, size=entry.delta_phi.shape
+            )
+        system = RFIDrawSystem(deployment, plane, wavelength)
+        batch = system.reconstruct(series)
+        session = system.open_session()
+        session.ingest_series(series)
+        _assert_results_equivalent(batch, session.finalize())
+
+    def test_reconstruct_log_equivalence(self):
+        """reconstruct_log streams a raw log to the batch answer."""
+        run = simulate_word(
+            "on",
+            seed=21,
+            config=ScenarioConfig(distance=2.0, los=True),
+            run_baseline=False,
+        )
+        batch = run.system.reconstruct(run.rfidraw_series)
+        stream = run.system.reconstruct_log(
+            run.rfidraw_log, sample_rate=run.config.sample_rate
+        )
+        _assert_results_equivalent(batch, stream)
+
+
+class TestStreamResampler:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return simulate_word(
+            "he",
+            seed=7,
+            config=ScenarioConfig(distance=2.0, los=True),
+            run_baseline=False,
+        )
+
+    def test_matches_build_pair_series(self, run):
+        """Incremental unwrap+interp == the batch series builder."""
+        series = build_pair_series(
+            run.rfidraw_log,
+            run.rfidraw_deployment,
+            sample_rate=run.config.sample_rate,
+        )
+        resampler = StreamResampler(
+            [entry.pair for entry in series],
+            sample_rate=run.config.sample_rate,
+        )
+        samples = []
+        for report in run.rfidraw_log.reports:
+            samples.extend(resampler.ingest(report))
+        samples.extend(resampler.drain())
+        assert len(samples) == len(series[0])
+        times = np.array([sample.time for sample in samples])
+        assert np.abs(times - series[0].times).max() <= TOLERANCE
+        delta = np.stack([sample.delta_phi for sample in samples], axis=1)
+        batch_delta = np.stack([entry.delta_phi for entry in series])
+        assert np.abs(delta - batch_delta).max() <= TOLERANCE
+
+    def test_emission_is_prompt(self, run):
+        """Instants stream out while reports arrive, not only at drain."""
+        series = build_pair_series(
+            run.rfidraw_log, run.rfidraw_deployment,
+            sample_rate=run.config.sample_rate,
+        )
+        resampler = StreamResampler(
+            [entry.pair for entry in series],
+            sample_rate=run.config.sample_rate,
+        )
+        streamed = sum(
+            len(resampler.ingest(report))
+            for report in run.rfidraw_log.reports
+        )
+        drained = len(resampler.drain())
+        assert streamed >= len(series[0]) - 3
+        assert streamed + drained == len(series[0])
+
+    def test_out_of_order_policies(self, run):
+        pairs = run.rfidraw_deployment.pairs()
+        reports = run.rfidraw_log.reports
+        late = next(r for r in reports[40:] if r.antenna_id == reports[0].antenna_id)
+        stale = PhaseReport(
+            time=late.time - 1.0,
+            epc_hex=late.epc_hex,
+            reader_id=late.reader_id,
+            antenna_id=late.antenna_id,
+            phase=late.phase,
+            rssi_dbm=late.rssi_dbm,
+        )
+        strict = StreamResampler(pairs)
+        for report in reports[:60]:
+            strict.ingest(report)
+        with pytest.raises(ValueError, match="out-of-order"):
+            strict.ingest(stale)
+        lenient = StreamResampler(pairs, out_of_order="drop")
+        for report in reports[:60]:
+            lenient.ingest(report)
+        assert lenient.ingest(stale) == []
+        assert lenient.dropped_reports == 1
+
+    def test_ignores_unknown_antennas(self, run):
+        pairs = run.rfidraw_deployment.pairs(reader_id=1)
+        resampler = StreamResampler(pairs)
+        foreign = PhaseReport(0.01, "AB" * 12, 9, 99, 1.0, -50.0)
+        assert resampler.ingest(foreign) == []
+
+
+class TestSessionLifecycle:
+    def test_epc_pinning(self, deployment, plane, wavelength):
+        system = RFIDrawSystem(deployment, plane, wavelength)
+        session = TrackingSession(system)
+        session.ingest(PhaseReport(0.01, "AA" * 12, 1, 1, 1.0, -50.0))
+        assert session.epc_hex == "AA" * 12
+        with pytest.raises(ValueError, match="SessionManager"):
+            session.ingest(PhaseReport(0.02, "BB" * 12, 1, 1, 1.0, -50.0))
+
+    def test_explicit_epc_filters_foreign_reports(
+        self, deployment, plane, wavelength
+    ):
+        """A session pinned at construction skips other tags, like the
+        batch builder's per-EPC filter."""
+        system = RFIDrawSystem(deployment, plane, wavelength)
+        session = TrackingSession(system, epc_hex="AA" * 12)
+        assert session.ingest(
+            PhaseReport(0.01, "BB" * 12, 1, 1, 1.0, -50.0)
+        ) == []
+        assert session.skipped_foreign_reports == 1
+        assert session.report_count == 0
+        session.ingest(PhaseReport(0.02, "AA" * 12, 1, 1, 1.0, -50.0))
+        assert session.report_count == 1
+
+    def test_finalize_twice_is_idempotent(self):
+        run = simulate_word(
+            "on",
+            seed=21,
+            config=ScenarioConfig(distance=2.0, los=True),
+            run_baseline=False,
+        )
+        session = run.system.open_session(sample_rate=run.config.sample_rate)
+        session.extend(run.rfidraw_log.reports)
+        first = session.finalize()
+        assert session.finalize() is first
+        with pytest.raises(ValueError, match="finalized"):
+            session.ingest(run.rfidraw_log.reports[0])
+
+    def test_empty_session_finalize_rejected(
+        self, deployment, plane, wavelength
+    ):
+        system = RFIDrawSystem(deployment, plane, wavelength)
+        with pytest.raises(ValueError, match="empty"):
+            system.open_session().finalize()
+
+    def test_dead_antenna_falls_back_to_batch(self):
+        """A stream whose warm-up never fills still answers like batch."""
+        run = simulate_word(
+            "on",
+            seed=21,
+            config=ScenarioConfig(distance=2.0, los=True),
+            run_baseline=False,
+        )
+        # Kill one wide-reader antenna: streaming warm-up cannot
+        # complete, batch drops that antenna's pairs and proceeds.
+        dead = 1
+        kept = [
+            r for r in run.rfidraw_log.reports if r.antenna_id != dead
+        ]
+        from repro.rfid.sampling import MeasurementLog
+
+        log = MeasurementLog(kept)
+        batch_series = build_pair_series(
+            log, run.rfidraw_deployment, sample_rate=run.config.sample_rate
+        )
+        batch = run.system.reconstruct(batch_series)
+        session = run.system.open_session(sample_rate=run.config.sample_rate)
+        emitted = session.extend(kept)
+        assert emitted == []  # warm-up never completed
+        result = session.finalize()
+        _assert_results_equivalent(batch, result)
+
+    def test_points_carry_best_candidate(self):
+        run = simulate_word(
+            "on",
+            seed=3,
+            config=ScenarioConfig(distance=2.0, los=True),
+            run_baseline=False,
+        )
+        session = run.system.open_session(sample_rate=run.config.sample_rate)
+        points = session.extend(run.rfidraw_log.reports)
+        result = session.finalize()
+        assert points, "healthy stream should emit live points"
+        for point in points:
+            assert point.position.shape == (2,)
+            assert 0 <= point.candidate_index < len(result.candidates)
+        # Once the vote race settles, the live points coincide with the
+        # finally chosen trajectory.
+        tail = [p for p in points if p.candidate_index == result.chosen_index]
+        for point in tail[-5:]:
+            assert (
+                np.abs(
+                    point.position - result.trajectory[point.index]
+                ).max()
+                <= TOLERANCE
+            )
