@@ -10,8 +10,14 @@ the same two readers in the same Gen2 slotted-ALOHA air protocol — so they
 genuinely contend for slots — and the merged report stream is fed,
 report by report, to a :class:`repro.stream.SessionManager`, which routes
 each report to its tag's :class:`~repro.stream.TrackingSession` and fires
-lifecycle events (session started / point emitted / finalized) as each
-user's trajectory takes shape.
+lifecycle events (session started / point emitted / finalized / evicted)
+as each user's trajectory takes shape.
+
+Always-on knobs are exercised too: the manager's ``idle_timeout`` evicts
+(auto-finalizes) the user who finishes writing and walks away — their
+trajectory is delivered mid-stream, not at shutdown — and each session's
+``prune_margin`` drops hopeless trace candidates to keep the steady-state
+per-report cost low without changing any answer.
 
 Run it with::
 
@@ -73,14 +79,27 @@ def main() -> None:
         )
         reports.extend(reader.inventory(tags, duration, rng,
                                         position_at=position_at))
+    # User 1 finishes their letter and walks out of the field: their tag
+    # simply stops replying partway through the merged stream.
+    walk_off = traces[1].times[-1] + 0.05
+    walker_epc = next(epc for epc, serial in serial_of.items() if serial == 1)
+    reports = [
+        r for r in reports if r.epc_hex != walker_epc or r.time <= walk_off
+    ]
     log = MeasurementLog(reports)
     print(f"  {len(log)} reads of {len(log.epcs())} distinct EPCs "
           f"({log.read_rate():.0f} reads/s shared)")
 
     # One manager demultiplexes the merged stream onto per-tag sessions.
+    # idle_timeout auto-finalizes the walker mid-stream; prune_margin
+    # keeps each session's steady-state step cheap (answers unchanged).
     system = RFIDrawSystem(deployment, plane, config.wavelength)
     manager = SessionManager(
-        system, sample_rate=config.sample_rate, candidate_count=3
+        system,
+        idle_timeout=0.4,
+        sample_rate=config.sample_rate,
+        candidate_count=3,
+        prune_margin=10.0,
     )
     live_counts: dict[str, int] = {}
     manager.on_session_started = lambda event: print(
@@ -90,11 +109,23 @@ def main() -> None:
     manager.on_point = lambda event: live_counts.__setitem__(
         event.epc_hex, live_counts.get(event.epc_hex, 0) + 1
     )
+    # event.result is None when an evicted session could not finalize
+    # (e.g. a ghost EPC) — a robust callback must not assume success.
+    manager.on_session_evicted = lambda event: print(
+        f"  user {serial_of[event.epc_hex]} stopped replying — session "
+        + (
+            f"evicted mid-stream with {len(event.result.trajectory)} points"
+            if event.result is not None
+            else "evicted without a reconstruction"
+        )
+    )
 
     print("\nStreaming the merged report log through the SessionManager…")
     for report in log.reports:  # stands in for the live reader loop
         manager.ingest(report)
     results = manager.finalize_all()
+    if manager.stragglers:
+        print(f"  ({manager.stragglers} straggler reads dropped)")
 
     for epc_hex, result in results.items():
         serial = serial_of[epc_hex]

@@ -4,9 +4,11 @@
 Simulates a user writing words with an RFID on their finger (letters
 ≈ 10 cm wide, 2 m from the reader wall), streams the reader's phase
 reports through a live :class:`repro.stream.TrackingSession` (points
-appear as the user writes — this is the touch screen being *live*),
-renders the finalized reconstruction as terminal ASCII art, and feeds it
-to the DTW handwriting recogniser (the MyScript Stylus stand-in).
+appear as the user writes — this is the touch screen being *live*, with
+incremental candidate pruning keeping the steady-state per-report cost
+low), renders the finalized reconstruction as terminal ASCII art, and
+feeds it to the DTW handwriting recogniser (the MyScript Stylus
+stand-in).
 
 Run it with::
 
@@ -47,9 +49,13 @@ def main(words: list[str]) -> None:
         )
         # Stream the reader reports through a live session, as a real
         # touch screen would; finalize() returns the same result the
-        # batch facade computes on the finished log.
+        # batch facade computes on the finished log. prune_margin drops
+        # wrong-lobe candidates once the vote race settles, provably
+        # without changing the chosen trajectory.
         session = run.system.open_session(
-            sample_rate=run.config.sample_rate
+            sample_rate=run.config.sample_rate,
+            prune_margin=10.0,
+            prune_burn_in=16,
         )
         live = session.extend(run.rfidraw_log.reports)
         result = session.finalize()
@@ -57,8 +63,10 @@ def main(words: list[str]) -> None:
         prediction = recognizer.classify(trajectory)
         verdict = "✓" if prediction == word else "✗"
         correct += prediction == word
+        survivors = len(result.candidates)
         print(f"\nUser wrote {word!r} in the air — RF-IDraw saw "
-              f"({len(live)} points streamed live):")
+              f"({len(live)} points streamed live, {survivors} candidate"
+              f"{'s' if survivors != 1 else ''} kept to the end):")
         print(render_ascii(trajectory))
         print(f"  recognised as {prediction!r}  {verdict}")
     print(f"\n{correct}/{len(words)} words recognised correctly")

@@ -296,10 +296,11 @@ def _robust_cost_and_weights(
         return np.einsum("cp,cp->c", residuals, residuals), ones, ones
     z = np.square(residuals / f_scale)
     if loss == "soft_l1":
-        root = np.sqrt(1.0 + z)
+        one_plus_z = 1.0 + z
+        root = np.sqrt(one_plus_z)
         rho = 2.0 * (root - 1.0)
         grad_w = 1.0 / root  # ρ' = (1+z)^{-1/2}
-        hess_w = grad_w / (1.0 + z)  # ρ' + 2zρ'' = (1+z)^{-3/2}
+        hess_w = grad_w / one_plus_z  # ρ' + 2zρ'' = (1+z)^{-3/2}
     elif loss == "huber":
         safe = np.maximum(z, 1.0)
         rho = np.where(z <= 1.0, z, 2.0 * np.sqrt(safe) - 1.0)
@@ -338,14 +339,39 @@ class TraceState:
     :meth:`BatchedTracer.trace_all` produces — bit-for-bit, because
     ``trace_all`` itself is implemented as begin → step… → finish.
 
+    With pruning enabled (``prune_margin``), candidates whose running
+    vote sum falls more than the margin behind the leader are dropped
+    from the per-step solve: the per-step ``positions``/``votes``
+    entries then shrink to the surviving rows, with
+    :attr:`active_history` recording which original candidates each
+    step's rows belong to. See :meth:`BatchedTracer.begin` for why the
+    winning trajectory is nevertheless always identical to the
+    unpruned run.
+
     Attributes:
         workspace: the per-trace geometry constants.
         locks: ``(C, P)`` per-candidate lobe locks (fixed at begin).
         starts: the ``(C, 2)`` candidate initial positions, as given.
-        current: the ``(C, 2)`` latest solved positions.
-        positions: per-step ``(C, 2)`` solved positions, in step order.
-        votes: per-step ``(C,)`` Eq. 7 votes.
-        deltas: per-step ``(P,)`` Δφ vectors (for the final residuals).
+        current: the ``(A, 2)`` latest solved positions of the active
+            candidates (``A == C`` until something is pruned).
+        positions: per-step ``(A_t, 2)`` solved positions, in step order.
+        votes: per-step ``(A_t,)`` Eq. 7 votes.
+        deltas: per-step ``(P,)`` Δφ vectors (for the final residuals —
+            and for resuming a pruned candidate, see ``finish``).
+        prune_margin: drop a candidate once its running vote sum trails
+            the leader's by more than this (``None`` disables pruning).
+        prune_burn_in: number of steps before pruning may begin.
+        active: ``(A,)`` sorted original indices of the candidates still
+            in the per-step solve.
+        running: ``(C,)`` running vote sums; a pruned candidate's entry
+            freezes at its drop-time value (an upper bound on its final
+            total, since per-step votes are ≤ 0).
+        active_history: per step, the ``active`` array that step's rows
+            correspond to (shared references; changes only at prunes).
+        pruned_at: ``{original index: steps participated}`` for every
+            dropped candidate.
+        result_indices: set by :meth:`BatchedTracer.finish` — the
+            original candidate index of each returned trace, ascending.
     """
 
     workspace: _StepWorkspace
@@ -355,6 +381,25 @@ class TraceState:
     positions: list = field(default_factory=list)
     votes: list = field(default_factory=list)
     deltas: list = field(default_factory=list)
+    prune_margin: float | None = None
+    prune_burn_in: int = 8
+    active: np.ndarray = None
+    running: np.ndarray = None
+    active_history: list = field(default_factory=list)
+    pruned_at: dict = field(default_factory=dict)
+    result_indices: list | None = None
+    #: Rows of :attr:`locks` for the active candidates — the full array
+    #: until a prune shrinks it, so the per-step target build never pays
+    #: a per-step gather.
+    active_locks: np.ndarray = None
+
+    def __post_init__(self) -> None:
+        if self.active is None:
+            self.active = np.arange(self.starts.shape[0])
+        if self.running is None:
+            self.running = np.zeros(self.starts.shape[0])
+        if self.active_locks is None:
+            self.active_locks = self.locks
 
     @property
     def step_count(self) -> int:
@@ -364,11 +409,18 @@ class TraceState:
     def candidate_count(self) -> int:
         return int(self.starts.shape[0])
 
+    @property
+    def active_count(self) -> int:
+        return int(self.active.size)
+
     def running_total_votes(self) -> np.ndarray:
-        """``(C,)`` vote sums over the steps ingested so far."""
-        if not self.votes:
-            return np.zeros(self.candidate_count)
-        return np.sum(self.votes, axis=0)
+        """``(C,)`` vote sums over the steps ingested so far.
+
+        Pruned candidates keep the sum they had when dropped — per-step
+        votes are ≤ 0, so that frozen value upper-bounds the total they
+        could have reached.
+        """
+        return self.running.copy()
 
 
 class BatchedTracer:
@@ -445,6 +497,8 @@ class BatchedTracer:
         pairs,
         delta_phi0: np.ndarray,
         start_positions: np.ndarray,
+        prune_margin: float | None = None,
+        prune_burn_in: int = 8,
     ) -> TraceState:
         """Open an incremental trace: fix lobe locks, seed all candidates.
 
@@ -456,11 +510,43 @@ class BatchedTracer:
                 instant — it anchors each candidate's grating-lobe locks
                 exactly like the first column of a batch trace.
             start_positions: ``(C, 2)`` candidate initial plane positions.
+            prune_margin: enable incremental candidate pruning — after
+                ``prune_burn_in`` steps, a candidate whose running vote
+                sum trails the current leader's by more than this margin
+                is dropped from the per-step solve, shrinking the
+                ``(C, 2)`` Gauss–Newton block as tracking proceeds.
+                ``None`` (default) keeps every candidate to the end.
+            prune_burn_in: steps to ingest before pruning may begin,
+                letting the vote race settle past its noisy opening.
 
         Returns:
             A :class:`TraceState`; note ``begin`` does **not** consume
             the first instant — pass ``delta_phi0`` to :meth:`step` as
             well, exactly as the batch path solves step 0.
+
+        **Why pruning cannot change the winning trajectory** (the
+        safe-margin argument :meth:`finish` enforces):
+
+        1. Every per-step vote is ``−Σ_p r_p² ≤ 0`` — the per-step vote
+           bound. A candidate's running sum is therefore non-increasing,
+           so the sum it holds when dropped is an *upper bound* on any
+           total it could have finished with.
+        2. The per-candidate solve is row-separable: dropping rows from
+           the batched step changes nothing about the surviving rows'
+           arithmetic, so survivors trace exactly the trajectories they
+           would have traced unpruned.
+        3. At :meth:`finish`, let ``W`` be the best surviving total. Any
+           dropped candidate whose frozen sum is ``< W`` provably could
+           not have beaten the surviving winner (by 1, its final total
+           is below ``W``); any dropped candidate whose frozen sum is
+           ``≥ W`` is *resumed* from its drop-time position over the
+           recorded Δφ tail — reproducing, by 2, precisely its unpruned
+           trajectory and true total — before the final arg-max.
+
+        Hence the arg-max winner (and its trajectory, votes and
+        residual diagnostics) is identical to the unpruned batch answer
+        for **every** margin; the margin and burn-in only tune how much
+        work is dropped versus occasionally resumed.
         """
         bank = pairs if isinstance(pairs, PairBank) else PairBank(list(pairs))
         starts = np.atleast_2d(np.asarray(start_positions, dtype=float))
@@ -469,6 +555,13 @@ class BatchedTracer:
         delta_phi0 = np.asarray(delta_phi0, dtype=float)
         if delta_phi0.shape != (len(bank),):
             raise ValueError("delta_phi0 must hold one Δφ per pair")
+        if prune_margin is not None:
+            prune_margin = float(prune_margin)
+            if not prune_margin > 0:
+                raise ValueError("prune_margin must be positive")
+        prune_burn_in = int(prune_burn_in)
+        if prune_burn_in < 1:
+            raise ValueError("prune_burn_in must be at least 1")
         locks = batched_lock_lobes(
             bank,
             delta_phi0,
@@ -487,6 +580,8 @@ class BatchedTracer:
             locks=locks,
             starts=starts.copy(),
             current=starts.copy(),
+            prune_margin=prune_margin,
+            prune_burn_in=prune_burn_in,
         )
 
     def step(
@@ -500,20 +595,55 @@ class BatchedTracer:
                 state's pair order.
 
         Returns:
-            ``(positions, votes)`` — the ``(C, 2)`` solved positions and
-            ``(C,)`` Eq. 7 votes of this step (also appended to the
-            state's histories).
+            ``(positions, votes)`` — the ``(A, 2)`` solved positions and
+            ``(A,)`` Eq. 7 votes of this step over the *active*
+            candidates (also appended to the state's histories); the
+            rows correspond to ``state.active_history[-1]``.
         """
         delta_phi = np.asarray(delta_phi, dtype=float)
         if delta_phi.shape != (len(state.workspace.bank),):
             raise ValueError("delta_phi must hold one Δφ per pair")
-        targets = delta_phi[np.newaxis, :] / _TWO_PI + state.locks  # (C, P)
+        active = state.active
+        targets = delta_phi[np.newaxis, :] / _TWO_PI + state.active_locks
         current, vote = self._solve_step(state.workspace, targets, state.current)
         state.current = current
         state.positions.append(current)
         state.votes.append(vote)
+        state.active_history.append(active)
         state.deltas.append(delta_phi)
+        if active.size == state.running.size:
+            state.running += vote
+        elif active.size == 1:
+            state.running[active[0]] += vote[0]
+        else:
+            state.running[active] += vote
+        if (
+            state.prune_margin is not None
+            and active.size > 1
+            and state.step_count >= state.prune_burn_in
+        ):
+            self._prune(state)
         return current, vote
+
+    @staticmethod
+    def _prune(state: TraceState) -> None:
+        """Drop active candidates trailing the leader by > the margin.
+
+        Safe for any positive margin: see :meth:`begin` — the frozen
+        running sum of a dropped candidate upper-bounds its reachable
+        total (per-step votes are ≤ 0), and :meth:`finish` resumes any
+        dropped candidate that bound does not disqualify.
+        """
+        running = state.running[state.active]
+        keep = running >= running.max() - state.prune_margin
+        if keep.all():
+            return
+        steps = state.step_count
+        for index in state.active[~keep]:
+            state.pruned_at[int(index)] = steps
+        state.active = state.active[keep]
+        state.current = state.current[keep]
+        state.active_locks = state.active_locks[keep]
 
     def finish(self, state: TraceState) -> list:
         """Close an incremental trace and build the per-candidate results.
@@ -521,45 +651,138 @@ class BatchedTracer:
         Evaluates the locked residuals along every solved path in one
         engine call — the same single evaluation (same shapes, same BLAS
         dispatch) the batch path performs, so results are bit-identical.
+
+        With pruning, results are built for the *survivors* — plus any
+        dropped candidate whose frozen running sum does not already
+        prove it a loser, which is resumed over the recorded Δφ tail
+        (see :meth:`begin` for the safety argument). The original index
+        of each returned trace is recorded, ascending, in
+        ``state.result_indices``; the arg-max over the returned totals
+        always names the same winner as the unpruned batch run.
+        """
+        if not state.positions:
+            raise ValueError("cannot finish a trace with no ingested steps")
+        if state.pruned_at:
+            return self._finish_pruned(state)
+        positions = np.stack(state.positions, axis=1)  # (C, T, 2)
+        votes = np.stack(state.votes, axis=1)  # (C, T)
+        state.result_indices = list(range(state.candidate_count))
+        return self._build_results(state, state.result_indices, positions, votes)
+
+    def _build_results(
+        self,
+        state: TraceState,
+        indices: list,
+        positions: np.ndarray,
+        votes: np.ndarray,
+    ) -> list:
+        """Per-candidate :class:`TraceResult`\\ s with residual diagnostics.
+
+        ``positions``/``votes`` are ``(R, T, 2)``/``(R, T)`` blocks whose
+        rows belong to original candidates ``indices``; the locked
+        residuals along every row are computed in one engine evaluation.
         """
         from repro.core.tracing import TraceResult
 
-        if not state.positions:
-            raise ValueError("cannot finish a trace with no ingested steps")
         ws = state.workspace
         bank = ws.bank
-        candidates = state.candidate_count
+        count = len(indices)
         steps = state.step_count
         pair_count = len(bank)
-        positions = np.stack(state.positions, axis=1)  # (C, T, 2)
-        votes = np.stack(state.votes, axis=1)  # (C, T)
         delta = np.stack(state.deltas, axis=1)  # (P, T)
-        # (C, P, T) lobe-locked targets in cycles.
-        targets = delta[np.newaxis, :, :] / _TWO_PI + state.locks[:, :, np.newaxis]
+        locks = state.locks[indices]  # (R, P)
+        # (R, P, T) lobe-locked targets in cycles.
+        targets = delta[np.newaxis, :, :] / _TWO_PI + locks[:, :, np.newaxis]
 
         # Locked residuals along every solved path, in one evaluation.
         world = ws.plane.to_world(positions.reshape(-1, 2))
         path_diffs = bank.path_differences(world).reshape(
-            candidates, steps, pair_count
+            count, steps, pair_count
         )
-        residuals = ws.scale * path_diffs.transpose(0, 2, 1) - targets  # (C, P, T)
+        residuals = ws.scale * path_diffs.transpose(0, 2, 1) - targets  # (R, P, T)
 
         results = []
-        for index in range(candidates):
+        for row, index in enumerate(indices):
             lock_dict = {
                 pair.ids: int(state.locks[index, p])
                 for p, pair in enumerate(bank.pairs)
             }
             results.append(
                 TraceResult(
-                    positions[index],
-                    votes[index],
+                    positions[row],
+                    votes[row],
                     lock_dict,
                     state.starts[index].copy(),
-                    residuals[index],
+                    residuals[row],
                 )
             )
         return results
+
+    def _finish_pruned(self, state: TraceState) -> list:
+        """Finish a trace that dropped candidates along the way.
+
+        Survivor histories are gathered from the variable-width per-step
+        rows; a dropped candidate is certified a loser when its frozen
+        running sum (an upper bound on its final total) is below the
+        best surviving total, and *resumed* from its drop-time position
+        over the recorded Δφ tail otherwise.
+        """
+        steps = state.step_count
+        survivors = state.active
+        winner_total = state.running[survivors].max()
+
+        resumed: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for index, participated in sorted(state.pruned_at.items()):
+            if state.running[index] >= winner_total:
+                resumed[index] = self._resume(state, index, participated)
+
+        indices = sorted([*survivors.tolist(), *resumed])
+        positions = np.empty((len(indices), steps, 2))
+        votes = np.empty((len(indices), steps))
+
+        surv_rows = [row for row, i in enumerate(indices) if i not in resumed]
+        surv = np.asarray([indices[row] for row in surv_rows])
+        rows = None
+        last = None
+        for step in range(steps):
+            active = state.active_history[step]
+            if active is not last:
+                rows = np.searchsorted(active, surv)
+                last = active
+            positions[surv_rows, step] = state.positions[step][rows]
+            votes[surv_rows, step] = state.votes[step][rows]
+        for row, index in enumerate(indices):
+            if index in resumed:
+                positions[row], votes[row] = resumed[index]
+
+        state.result_indices = indices
+        return self._build_results(state, indices, positions, votes)
+
+    def _resume(
+        self, state: TraceState, index: int, participated: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Re-trace a dropped candidate's tail, bit-identical to unpruned.
+
+        The batched step is row-separable, so replaying the candidate's
+        ``(1, 2)`` block from its drop-time position over the recorded
+        Δφ vectors reproduces exactly the trajectory and votes it would
+        have accumulated had it never been dropped.
+        """
+        steps = state.step_count
+        positions = np.empty((steps, 2))
+        votes = np.empty(steps)
+        for step in range(participated):
+            row = int(np.searchsorted(state.active_history[step], index))
+            positions[step] = state.positions[step][row]
+            votes[step] = state.votes[step][row]
+        current = positions[participated - 1][np.newaxis, :].copy()
+        locks = state.locks[index][np.newaxis, :]
+        for step in range(participated, steps):
+            targets = state.deltas[step][np.newaxis, :] / _TWO_PI + locks
+            current, vote = self._solve_step(state.workspace, targets, current)
+            positions[step] = current[0]
+            votes[step] = vote[0]
+        return positions, votes
 
     # ------------------------------------------------------------------
     def _residuals_and_jacobian(
@@ -569,10 +792,22 @@ class BatchedTracer:
 
         The Jacobian is the analytic one from ``TrajectoryTracer``:
         ``∂r/∂uv = scale · (unit(P−first) − unit(P−second)) · axes``.
+
+        This runs several times per solver iteration per time step, so
+        ``plane.to_world`` and ``np.linalg.norm`` are inlined as the
+        exact float operations they perform (same ufuncs, same order —
+        bit-identical results) minus their wrapper overhead.
         """
-        world = ws.plane.to_world(uv)  # (C, 3)
+        plane = ws.plane
+        world = (
+            plane.origin
+            + uv[:, 0:1] * plane.u_axis
+            + uv[:, 1:2] * plane.v_axis
+        )  # (C, 3)
         to_antenna = world[:, np.newaxis, :] - ws.bank.positions[np.newaxis, :, :]
-        dists = np.linalg.norm(to_antenna, axis=2)  # (C, A)
+        dists = np.sqrt(
+            np.add.reduce(to_antenna * to_antenna, axis=2)
+        )  # (C, A)
         units = to_antenna / dists[:, :, np.newaxis]  # (C, A, 3)
         path_diff = dists[:, ws.bank.first_index] - dists[:, ws.bank.second_index]
         residual = ws.scale * path_diff - targets
@@ -604,6 +839,7 @@ class BatchedTracer:
         )
         damping = np.full(candidates, 1e-6)
         active = np.ones(candidates, dtype=bool)
+        step = np.empty_like(uv)
 
         for _ in range(self.max_iterations):
             # Normal equations A δ = −g with the Triggs-corrected model:
@@ -620,16 +856,13 @@ class BatchedTracer:
             d11 = normal[:, 1, 1] * (1.0 + damping)
             off = normal[:, 0, 1]
             det = d00 * d11 - off * off
-            det = np.where(np.abs(det) < 1e-300, 1e-300, det)
-            step = np.stack(
-                [
-                    -(d11 * gradient[:, 0] - off * gradient[:, 1]) / det,
-                    -(d00 * gradient[:, 1] - off * gradient[:, 0]) / det,
-                ],
-                axis=1,
-            )
+            bad = np.abs(det) < 1e-300
+            if bad.any():
+                det = np.where(bad, 1e-300, det)
+            step[:, 0] = -(d11 * gradient[:, 0] - off * gradient[:, 1]) / det
+            step[:, 1] = -(d00 * gradient[:, 1] - off * gradient[:, 0]) / det
 
-            proposal = np.clip(uv + step, lower, upper)
+            proposal = np.minimum(np.maximum(uv + step, lower), upper)
             new_residual, new_jacobian = self._residuals_and_jacobian(
                 ws, targets, proposal
             )
@@ -637,22 +870,39 @@ class BatchedTracer:
                 new_residual, cfg.loss, cfg.loss_scale
             )
             improved = active & (new_cost <= cost)
-            uv[improved] = proposal[improved]
-            residual[improved] = new_residual[improved]
-            jacobian[improved] = new_jacobian[improved]
-            grad_w[improved] = new_grad_w[improved]
-            hess_w[improved] = new_hess_w[improved]
             # A tiny proposed step means the normal equations are at a
             # stationary point — converged whether or not the last
             # float-level comparison accepted it.
-            tiny = np.linalg.norm(step, axis=1) < self.step_tolerance
-            flat = improved & (
-                cost - new_cost <= 1e-12 * np.maximum(cost, 1e-30)
+            tiny = (
+                np.sqrt(np.add.reduce(step * step, axis=1))
+                < self.step_tolerance
             )
-            cost[improved] = new_cost[improved]
-            damping[improved] *= self._DAMP_DOWN
-            rejected = active & ~improved
-            damping[rejected] *= self._DAMP_UP
+            if improved.all():
+                # Every candidate accepted its step — the common case in
+                # healthy steady-state tracking. Adopting the proposal
+                # arrays wholesale is value-identical to the masked
+                # copies below but skips ~10 fancy-indexing passes.
+                flat = cost - new_cost <= 1e-12 * np.maximum(cost, 1e-30)
+                uv = proposal
+                residual = new_residual
+                jacobian = new_jacobian
+                grad_w = new_grad_w
+                hess_w = new_hess_w
+                cost = new_cost
+                damping *= self._DAMP_DOWN
+            else:
+                flat = improved & (
+                    cost - new_cost <= 1e-12 * np.maximum(cost, 1e-30)
+                )
+                uv[improved] = proposal[improved]
+                residual[improved] = new_residual[improved]
+                jacobian[improved] = new_jacobian[improved]
+                grad_w[improved] = new_grad_w[improved]
+                hess_w[improved] = new_hess_w[improved]
+                cost[improved] = new_cost[improved]
+                damping[improved] *= self._DAMP_DOWN
+                rejected = active & ~improved
+                damping[rejected] *= self._DAMP_UP
             active &= ~(tiny | flat)
             # A rejected step with astronomic damping means we're pinned
             # (e.g. on the box boundary) — stop iterating that candidate.

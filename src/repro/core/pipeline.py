@@ -37,15 +37,22 @@ class ReconstructionResult:
     Attributes:
         trajectory: the chosen ``(T, 2)`` plane-coordinate trajectory.
         times: the shared timeline of the trajectory samples.
-        chosen_index: which candidate produced the chosen trajectory.
+        chosen_index: which candidate produced the chosen trajectory —
+            an index into :attr:`candidates`/:attr:`traces`.
         candidates: candidate initial positions, best vote first.
         traces: one :class:`TraceResult` per candidate (same order).
+        candidate_indices: when a pruned streaming session omitted
+            certified-loser candidates, the *original* warm-up index of
+            each row of :attr:`candidates`/:attr:`traces` (matching the
+            ``candidate_index`` carried by live ``TrajectoryPoint``\\ s);
+            ``None`` when the rows already are the full warm-up list.
     """
 
     times: np.ndarray
     chosen_index: int
     candidates: list[PositionCandidate]
     traces: list[TraceResult]
+    candidate_indices: list[int] | None = None
 
     @property
     def trajectory(self) -> np.ndarray:
@@ -151,6 +158,13 @@ class RFIDrawSystem:
         reports) through a fresh :class:`TrackingSession` in time order
         and finalizes — equivalent to building pair series and calling
         :meth:`reconstruct`, without the intermediate structure.
+
+        ``**session_kwargs`` reaches the session constructor — notably
+        ``prune_margin``/``prune_burn_in`` (drop hopeless trace
+        candidates mid-stream; the chosen trajectory is provably still
+        the batch one, see :meth:`repro.core.engine.BatchedTracer.begin`)
+        and ``out_of_order="drop"`` (survive stale or non-finite reports
+        from a flaky reader).
         """
         from repro.rfid.sampling import MeasurementLog
 
@@ -167,7 +181,10 @@ class RFIDrawSystem:
     def open_session(self, **kwargs):
         """A fresh :class:`repro.stream.session.TrackingSession` over
         this system's deployment, positioner and tracer. Keyword
-        arguments are forwarded to the session constructor."""
+        arguments are forwarded to the session constructor —
+        ``prune_margin``/``prune_burn_in`` tune steady-state candidate
+        pruning, ``out_of_order`` the dirty-input policy,
+        ``retain_reports=False`` bounds memory on healthy streams."""
         from repro.stream.session import TrackingSession
 
         return TrackingSession(self, **kwargs)

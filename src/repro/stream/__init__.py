@@ -11,9 +11,15 @@ online rather than demanding a finished measurement log:
   lobe-locked tracing, emitting trajectory points with bounded
   per-report work. :meth:`~repro.stream.session.TrackingSession.finalize`
   returns the exact batch :class:`~repro.core.pipeline.ReconstructionResult`.
+  The ``prune_margin``/``prune_burn_in`` knobs drop hopeless trace
+  candidates mid-stream, shrinking the steady-state per-step solve
+  while provably keeping the winning trajectory identical to batch.
 * :class:`~repro.stream.manager.SessionManager` — multi-tag routing by
-  EPC with lifecycle events and a JSONL
-  :meth:`~repro.stream.manager.SessionManager.replay` driver.
+  EPC with lifecycle events, a JSONL
+  :meth:`~repro.stream.manager.SessionManager.replay` driver, and an
+  eviction policy (``idle_timeout``/``max_sessions``) that
+  auto-finalizes tags that stop replying, so a day-long merged stream
+  holds bounded open-session state.
 
 The batch facade ``RFIDrawSystem.reconstruct`` is a thin wrapper over
 this subsystem (feed everything, finalize), so streaming and batch can

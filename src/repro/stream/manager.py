@@ -22,6 +22,14 @@ for existing recorded sessions. (The sessions themselves still
 accumulate per-antenna and per-step history for ``finalize()``, plus the
 raw reports unless constructed with ``retain_reports=False``, so memory
 grows with recording length even though the file is never slurped.)
+
+For always-on deployments the manager also bounds its own state: an
+``idle_timeout`` auto-finalizes (``EVICTED`` + ``FINALIZED`` events) any
+tag that stops replying — judged by report time, so replays of recorded
+logs evict at the same points a live run would — and an optional
+``max_sessions`` cap evicts the longest-idle open session to make room
+for a newly seen EPC. Reports for an evicted tag are counted as
+stragglers, like reports for an explicitly finalized one.
 """
 
 from __future__ import annotations
@@ -43,6 +51,7 @@ class SessionEventType(enum.Enum):
     STARTED = "started"
     POINT = "point"
     FINALIZED = "finalized"
+    EVICTED = "evicted"
 
 
 @dataclass(frozen=True)
@@ -54,7 +63,9 @@ class SessionEvent:
         epc_hex: the tag.
         session: the session the event belongs to.
         point: the emitted point (``POINT`` events only).
-        result: the final reconstruction (``FINALIZED`` events only).
+        result: the final reconstruction (``FINALIZED`` and ``EVICTED``
+            events; ``None`` on an ``EVICTED`` event whose finalize
+            failed — the error is then in ``SessionManager.failures``).
     """
 
     type: SessionEventType
@@ -74,17 +85,36 @@ class SessionManager:
             defaults to ``TrackingSession(system, epc_hex=epc,
             **session_kwargs)``. Use it to give different tags different
             tunables.
+        idle_timeout: eviction policy, keyed on *report* time (not wall
+            clock, so recorded replays behave like live streams): a tag
+            whose last report is more than this many seconds behind the
+            newest report seen by the manager is auto-finalized — its
+            ``FINALIZED`` event fires, then an ``EVICTED`` event. A
+            day-long merged stream therefore holds bounded open-session
+            state no matter how many tags come and go. ``None``
+            (default) keeps sessions open until finalized explicitly.
+        max_sessions: optional hard cap on concurrently *open* sessions;
+            when a new EPC would exceed it, the open session with the
+            oldest last report is evicted first. ``None`` = unbounded.
         **session_kwargs: forwarded to the default factory.
 
     Attributes:
-        on_session_started / on_point / on_session_finalized: optional
-            callbacks, each receiving a :class:`SessionEvent`.
+        on_session_started / on_point / on_session_finalized /
+        on_session_evicted: optional callbacks, each receiving a
+            :class:`SessionEvent`.
+        evicted_epcs: EPCs auto-finalized by the eviction policy, in
+            eviction order. A report arriving for an evicted tag counts
+            as a straggler (see :meth:`ingest`) — even if its eviction
+            finalize failed, so one dead ghost cannot make every later
+            report retry a doomed finalize.
     """
 
     def __init__(
         self,
         system: RFIDrawSystem,
         session_factory: Callable[[str], TrackingSession] | None = None,
+        idle_timeout: float | None = None,
+        max_sessions: int | None = None,
         **session_kwargs,
     ) -> None:
         self.system = system
@@ -98,13 +128,28 @@ class SessionManager:
                 "pass tunables through the custom session_factory, "
                 "not alongside it"
             )
+        if idle_timeout is not None and not idle_timeout > 0:
+            raise ValueError("idle_timeout must be positive")
+        if max_sessions is not None and max_sessions < 1:
+            raise ValueError("max_sessions must allow at least one session")
         self.session_factory = session_factory
+        self.idle_timeout = idle_timeout
+        self.max_sessions = max_sessions
         self.sessions: dict[str, TrackingSession] = {}
         self.failures: dict[str, Exception] = {}
         self.stragglers = 0
+        self.last_report_time: dict[str, float] = {}
+        self.evicted_epcs: list[str] = []
+        self._closed: set[str] = set()
+        # Insertion-ordered registry of sessions believed open, purged
+        # lazily — the per-report idle sweep walks this, not the full
+        # (ever-growing) session map.
+        self._open: dict[str, None] = {}
+        self._frontier = float("-inf")
         self.on_session_started: Callable[[SessionEvent], None] | None = None
         self.on_point: Callable[[SessionEvent], None] | None = None
         self.on_session_finalized: Callable[[SessionEvent], None] | None = None
+        self.on_session_evicted: Callable[[SessionEvent], None] | None = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -120,6 +165,7 @@ class SessionManager:
         if session is None:
             session = self.session_factory(epc_hex)
             self.sessions[epc_hex] = session
+            self._open[epc_hex] = None
             self._fire(
                 self.on_session_started,
                 SessionEvent(SessionEventType.STARTED, epc_hex, session),
@@ -130,22 +176,113 @@ class SessionManager:
         """Route one report; return the events it produced.
 
         A straggler report for a tag whose session was already finalized
-        (the tag keeps replying after its gesture was closed out) is
-        dropped and counted in :attr:`stragglers` rather than crashing
-        the shared reader loop.
+        or evicted (the tag keeps replying after its gesture was closed
+        out) is dropped and counted in :attr:`stragglers` rather than
+        crashing the shared reader loop.
+
+        With an eviction policy configured, each report first advances
+        the report-time frontier and sweeps idle sessions; any
+        ``EVICTED`` events that fires (possibly for *other* tags than
+        the report's, and for the report's own tag if it returns after
+        idling out) are included in the returned list ahead of the
+        report's own ``POINT`` events.
         """
-        session = self.session_for(report.epc_hex)
-        if session.result is not None:
+        events: list[SessionEvent] = []
+        if self.idle_timeout is not None and report.time > self._frontier:
+            # Only an advancing frontier can make a session newly stale,
+            # so the sweep is skipped for same-or-older timestamps.
+            self._frontier = report.time
+            events.extend(self._evict_idle())
+        epc = report.epc_hex
+        session = self.sessions.get(epc)
+        if session is None:
+            if self.max_sessions is not None:
+                events.extend(self._evict_for_capacity())
+            session = self.session_for(epc)
+        if epc in self._closed or session.result is not None:
             self.stragglers += 1
-            return []
-        events = []
+            return events
+        # max(): reports from different antennas may interleave slightly
+        # non-monotonically (legal per-antenna), and a tag's idle clock
+        # must never move backwards because of it.
+        previous = self.last_report_time.get(epc)
+        if previous is None or report.time > previous:
+            self.last_report_time[epc] = report.time
         for point in session.ingest(report):
             event = SessionEvent(
-                SessionEventType.POINT, report.epc_hex, session, point=point
+                SessionEventType.POINT, epc, session, point=point
             )
             self._fire(self.on_point, event)
             events.append(event)
         return events
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def open_epcs(self) -> list[str]:
+        """EPCs whose sessions are still open (not finalized or evicted).
+
+        Walks the open-session registry, lazily dropping sessions that
+        were closed out of band (e.g. ``session.finalize()`` called
+        directly) — amortized cost proportional to the *open* session
+        count, not every EPC the stream ever carried.
+        """
+        open_list = []
+        for epc in list(self._open):
+            if epc in self._closed or self.sessions[epc].result is not None:
+                del self._open[epc]
+            else:
+                open_list.append(epc)
+        return open_list
+
+    def evict(self, epc_hex: str) -> SessionEvent:
+        """Force-evict one tag: finalize its session and close it for good.
+
+        Fires the ``FINALIZED`` event (when finalize succeeds) followed
+        by the ``EVICTED`` event. A finalize failure (e.g. a ghost EPC
+        that never warmed up) is recorded in :attr:`failures` instead of
+        propagating — eviction runs inside the shared ingest loop, which
+        must survive any single tag — and the session stays closed
+        either way, so later reports for it count as stragglers.
+        """
+        session = self.sessions[epc_hex]
+        self._closed.add(epc_hex)
+        self._open.pop(epc_hex, None)
+        self.evicted_epcs.append(epc_hex)
+        result = None
+        try:
+            result = self.finalize(epc_hex)
+        except Exception as error:
+            self.failures[epc_hex] = error
+        event = SessionEvent(
+            SessionEventType.EVICTED, epc_hex, session, result=result
+        )
+        self._fire(self.on_session_evicted, event)
+        return event
+
+    def _evict_idle(self) -> list[SessionEvent]:
+        """Evict open sessions idle past the report-time frontier."""
+        cutoff = self._frontier - self.idle_timeout
+        stale = [
+            epc
+            for epc in self.open_epcs()
+            if epc in self.last_report_time
+            and self.last_report_time[epc] < cutoff
+        ]
+        return [self.evict(epc) for epc in stale]
+
+    def _evict_for_capacity(self) -> list[SessionEvent]:
+        """Make room for a new session under the ``max_sessions`` cap."""
+        events: list[SessionEvent] = []
+        while True:
+            open_epcs = self.open_epcs()
+            if len(open_epcs) < self.max_sessions:
+                return events
+            oldest = min(
+                open_epcs,
+                key=lambda epc: self.last_report_time.get(epc, float("-inf")),
+            )
+            events.append(self.evict(oldest))
 
     def extend(self, reports: Iterable[PhaseReport]) -> list[SessionEvent]:
         """Route an iterable of reports; return all produced events."""
@@ -155,10 +292,17 @@ class SessionManager:
         return events
 
     def finalize(self, epc_hex: str) -> ReconstructionResult:
-        """Finalize one tag's session and fire its lifecycle event."""
+        """Finalize one tag's session and fire its lifecycle event.
+
+        A session whose earlier finalize failed (ghost EPC) may succeed
+        once more reports arrive; success clears its stale
+        :attr:`failures` entry.
+        """
         session = self.sessions[epc_hex]
         already = session.result is not None
         result = session.finalize()
+        self.failures.pop(epc_hex, None)
+        self._open.pop(epc_hex, None)
         if not already:
             self._fire(
                 self.on_session_finalized,

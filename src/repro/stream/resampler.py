@@ -33,6 +33,7 @@ same edge-clamping ``numpy.interp`` semantics the batch path applies.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from dataclasses import dataclass, field
 
@@ -78,13 +79,15 @@ class _AntennaState:
         ``np.unwrap``'s correction for sample *n* is a pure function of
         the raw step ``dd = φ_n − φ_{n−1}`` and corrections accumulate by
         a running sum — so maintaining that sum incrementally reproduces
-        the batch unwrap bit-for-bit.
+        the batch unwrap bit-for-bit. (Scalar ``%``/``math`` calls are
+        used in place of their ``np`` spellings — same float semantics,
+        a fraction of the per-report overhead.)
         """
-        if not np.isfinite(phase):
+        if not math.isfinite(phase):
             raise ValueError("cannot ingest a non-finite phase sample")
         if self.times:
             dd = phase - self._last_raw
-            ddmod = np.mod(dd + _PI, _TWO_PI) - _PI
+            ddmod = (dd + _PI) % _TWO_PI - _PI
             if ddmod == -_PI and dd > 0:
                 ddmod = _PI
             if abs(dd) >= _PI:
@@ -128,7 +131,11 @@ class StreamResampler:
             threshold).
         out_of_order: how to treat a report older than its antenna's
             latest — ``"raise"`` (default) or ``"drop"`` (count it in
-            :attr:`dropped_reports` and move on).
+            :attr:`dropped_reports` and move on). The same policy covers
+            a report with a non-finite phase (a flaky reader emitting
+            NaN must not kill a long-running ingest loop): ``"drop"``
+            counts it in :attr:`dropped_reports` and skips it, strict
+            mode raises.
     """
 
     def __init__(
@@ -152,6 +159,7 @@ class StreamResampler:
             {aid for pair in self.pairs for aid in pair.ids}
         )
         self._antennas = {aid: _AntennaState() for aid in self.antenna_ids}
+        self._last_times: dict[int, float] = {}
         self._start: float | None = None
         self._next_index = 0
         self.dropped_reports = 0
@@ -186,6 +194,14 @@ class StreamResampler:
         state = self._antennas.get(report.antenna_id)
         if state is None:
             return []
+        if not math.isfinite(report.phase):
+            if self.out_of_order == "drop":
+                self.dropped_reports += 1
+                return []
+            raise ValueError(
+                f"non-finite phase sample from antenna {report.antenna_id} "
+                f"at t={report.time}"
+            )
         if state.times and report.time < state.last_time:
             if self.out_of_order == "drop":
                 self.dropped_reports += 1
@@ -195,7 +211,9 @@ class StreamResampler:
                 f"{report.time} after {state.last_time}"
             )
         state.append(report.time, report.phase)
-        self._maybe_start()
+        self._last_times[report.antenna_id] = report.time
+        if self._start is None:
+            self._maybe_start()
         return self._emit_ready()
 
     def _maybe_start(self) -> None:
@@ -215,11 +233,13 @@ class StreamResampler:
         """Emit instants whose interpolated values can no longer change."""
         if self._start is None:
             return []
-        end = min(state.last_time for state in self._antennas.values())
+        end = min(self._last_times.values())
         # The batch instant count for the data seen so far; it only
         # grows as `end` grows, so emitting up to it never overshoots
         # the final batch timeline.
-        count = int(np.floor((end - self._start) * self.sample_rate)) + 1
+        count = math.floor((end - self._start) * self.sample_rate) + 1
+        if self._next_index >= count:
+            return []
         emitted: list[PairSample] = []
         while self._next_index < count:
             when = self.time_of(self._next_index)

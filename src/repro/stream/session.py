@@ -31,6 +31,7 @@ answers *earlier* when the stream is healthy.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -103,10 +104,24 @@ class TrackingSession:
         candidate_count: how many initial candidates to trace (default:
             the positioner's configured count).
         out_of_order: per-antenna timestamp policy, see
-            :class:`~repro.stream.resampler.StreamResampler`.
+            :class:`~repro.stream.resampler.StreamResampler`. Under
+            ``"drop"``, non-finite phase samples from a flaky reader are
+            likewise counted in the resampler's ``dropped_reports`` and
+            skipped instead of killing the session.
         retain_reports: keep raw reports so degenerate streams can fall
             back to the batch builder at finalize. Disable for bounded
             memory on healthy long-running streams.
+        prune_margin: steady-state cost knob — drop trace candidates
+            whose running vote sum trails the leader's by more than this
+            margin, shrinking the per-step batched solve. Safe for any
+            positive value: the engine resumes a dropped candidate at
+            finalize whenever its frozen sum does not already prove it a
+            loser (see :meth:`repro.core.engine.BatchedTracer.begin`),
+            so the chosen trajectory is always identical to the
+            unpruned batch answer; only the per-candidate diagnostics of
+            certified losers are omitted from the result. ``None``
+            (default) disables pruning.
+        prune_burn_in: steps before pruning may begin.
     """
 
     def __init__(
@@ -119,6 +134,8 @@ class TrackingSession:
         candidate_count: int | None = None,
         out_of_order: str = "raise",
         retain_reports: bool = True,
+        prune_margin: float | None = None,
+        prune_burn_in: int = 8,
     ) -> None:
         self.system = system
         self.epc_hex = epc_hex
@@ -131,6 +148,14 @@ class TrackingSession:
         self.min_reads_per_antenna = int(min_reads_per_antenna)
         self.candidate_count = candidate_count
         self.retain_reports = retain_reports
+        # Fail fast on bad knobs (the engine re-validates at begin(), but
+        # that is mid-stream — long after a SessionManager loop started).
+        if prune_margin is not None and not float(prune_margin) > 0:
+            raise ValueError("prune_margin must be positive")
+        if int(prune_burn_in) < 1:
+            raise ValueError("prune_burn_in must be at least 1")
+        self.prune_margin = prune_margin
+        self.prune_burn_in = prune_burn_in
         self.resampler = StreamResampler(
             self.pairs,
             sample_rate=self.sample_rate,
@@ -186,11 +211,16 @@ class TrackingSession:
                 f"tracking {self.epc_hex} (use a SessionManager to "
                 "demultiplex tags)"
             )
+        samples = self.resampler.ingest(report)  # may raise in strict mode
         self.report_count += 1
-        if self.retain_reports:
+        # Retain even reports the resampler dropped as stale — the batch
+        # builder would see them (the log is time-sorted), so a fallback
+        # needs them to answer identically. Non-finite phases are the
+        # exception: they are not data and would poison the fallback.
+        if self.retain_reports and math.isfinite(report.phase):
             self._reports.append(report)
         emitted: list[TrajectoryPoint] = []
-        for sample in self.resampler.ingest(report):
+        for sample in samples:
             emitted.append(self._on_sample(sample))
         return emitted
 
@@ -261,19 +291,37 @@ class TrackingSession:
                 [candidate.position for candidate in self.candidates]
             )
             self._trace_state = tracer.begin(
-                self.pairs, sample.delta_phi, starts
+                self.pairs,
+                sample.delta_phi,
+                starts,
+                prune_margin=self.prune_margin,
+                prune_burn_in=self.prune_burn_in,
             )
-            self._running_votes = np.zeros(len(self.candidates))
+            self._running_votes = self._trace_state.running
             self.state = SessionState.TRACKING
         positions, votes = tracer.step(self._trace_state, sample.delta_phi)
-        self._running_votes += votes
-        best = int(np.argmax(self._running_votes))
+        # The step returns rows for the candidates still active (all of
+        # them unless pruning is on). The emitted point is the best
+        # *active* candidate by running vote sum — a pruned candidate's
+        # frozen sum can drift above the leader's late in a long trace,
+        # but it has no live position to report (and finalize resumes it
+        # if it could actually win).
+        stepped = self._trace_state.active_history[-1]
+        if stepped.size == self._running_votes.size:
+            row = int(np.argmax(self._running_votes))
+            best = row
+        elif stepped.size == 1:
+            row = 0
+            best = int(stepped[0])
+        else:
+            row = int(np.argmax(self._running_votes[stepped]))
+            best = int(stepped[row])
         point = TrajectoryPoint(
             index=sample.index,
             time=sample.time,
-            position=positions[best].copy(),
+            position=positions[row].copy(),
             candidate_index=best,
-            vote=float(votes[best]),
+            vote=float(votes[row]),
         )
         self._times.append(sample.time)
         self.points.append(point)
@@ -292,17 +340,41 @@ class TrackingSession:
             assert self.result is not None
             return self.result
         if not self._series_mode:
-            for sample in self.resampler.drain():
+            try:
+                tail = self.resampler.drain()
+            except ValueError as error:
+                if "no overlapping observation window" not in str(error):
+                    raise
+                # E.g. stale bursts dropped under out_of_order="drop"
+                # left the stream's per-antenna windows disjoint. The
+                # batch builder over the retained (time-sorted) reports
+                # handles exactly this shape, so answer like batch
+                # instead of crashing. (Other ValueErrors are real bugs
+                # and must surface.)
+                return self._finalize_fallback()
+            for sample in tail:
                 self._on_sample(sample)
         if self.state is not SessionState.TRACKING:
             return self._finalize_fallback()
         traces = self.system.tracer.finish(self._trace_state)
+        indices = self._trace_state.result_indices
+        if indices is not None and len(indices) != len(self.candidates):
+            # Pruning certified the missing candidates as losers; the
+            # result pairs the surviving candidates with their traces
+            # and records each row's original warm-up index, so live
+            # TrajectoryPoint.candidate_index values stay resolvable.
+            candidates = [self.candidates[index] for index in indices]
+            candidate_indices = list(indices)
+        else:
+            candidates = self.candidates
+            candidate_indices = None
         chosen = int(np.argmax([trace.total_vote for trace in traces]))
         self.result = ReconstructionResult(
             times=np.asarray(self._times, dtype=float),
             chosen_index=chosen,
-            candidates=self.candidates,
+            candidates=candidates,
             traces=traces,
+            candidate_indices=candidate_indices,
         )
         self.state = SessionState.FINALIZED
         return self.result
@@ -332,11 +404,18 @@ class TrackingSession:
             min_reads_per_antenna=self.min_reads_per_antenna,
         )
         fallback = TrackingSession(
-            self.system, candidate_count=self.candidate_count
+            self.system,
+            candidate_count=self.candidate_count,
+            prune_margin=self.prune_margin,
+            prune_burn_in=self.prune_burn_in,
         )
         fallback.ingest_series(series)
         self.points = fallback.points
         self.candidates = fallback.candidates
         self.result = fallback.finalize()
+        # Adopt the fallback's timeline too, so this session's internal
+        # time list agrees with result.times (the invariant every
+        # non-degenerate finalize upholds).
+        self._times = list(fallback._times)
         self.state = SessionState.FINALIZED
         return self.result

@@ -420,3 +420,143 @@ class TestIncrementalStepAPI:
         )
         with pytest.raises(ValueError, match="no ingested steps"):
             tracer.finish(state)
+
+
+class TestCandidatePruning:
+    """Incremental candidate pruning must never change the winner.
+
+    The safety argument (see ``BatchedTracer.begin``): per-step votes
+    are ≤ 0, so a dropped candidate's frozen running sum upper-bounds
+    its final total; the solve is row-separable, so survivors are
+    unaffected by the drop; and ``finish`` resumes any dropped candidate
+    the bound does not certify as a loser. Hence for *every* margin the
+    arg-max winner — and each returned trace — is bit-identical to the
+    unpruned batch run.
+    """
+
+    def make_problem(self, deployment, plane, wavelength, rng):
+        uv = word_like_uv()
+        times = np.linspace(0, 3.5, uv.shape[0])
+        series = ideal_pair_series(deployment, plane, uv, times, wavelength)
+        for entry in series:
+            entry.delta_phi = entry.delta_phi + rng.normal(
+                0.0, 0.08, size=entry.delta_phi.shape
+            )
+        starts = np.stack(
+            [
+                uv[0],
+                uv[0] + np.array([0.18, -0.12]),
+                uv[0] + np.array([-0.21, 0.16]),
+                uv[0] + 0.2,
+                uv[0] - 0.15,
+            ]
+        )
+        return series, starts
+
+    def run_pruned(self, tracer, series, starts, margin, burn_in):
+        delta = np.stack([entry.delta_phi for entry in series])
+        state = tracer.begin(
+            [entry.pair for entry in series],
+            delta[:, 0],
+            starts,
+            prune_margin=margin,
+            prune_burn_in=burn_in,
+        )
+        for step in range(delta.shape[1]):
+            positions, votes = tracer.step(state, delta[:, step])
+            active = state.active_history[-1]
+            assert positions.shape == (active.size, 2)
+            assert votes.shape == (active.size,)
+        return state, tracer.finish(state)
+
+    @pytest.mark.parametrize("margin,burn_in", [(1e-6, 1), (0.5, 4), (5.0, 8)])
+    def test_pruned_results_match_batch_rows(
+        self, deployment, plane, wavelength, rng, margin, burn_in
+    ):
+        """Every returned trace equals its unpruned batch counterpart,
+        and the arg-max winner is the batch winner — even for margins so
+        tight that the resume path must rescue dropped candidates."""
+        series, starts = self.make_problem(deployment, plane, wavelength, rng)
+        tracer = BatchedTracer(plane, wavelength)
+        batch = tracer.trace_all(series, starts)
+        batch_winner = int(np.argmax([t.total_vote for t in batch]))
+
+        state, pruned = self.run_pruned(tracer, series, starts, margin, burn_in)
+        indices = state.result_indices
+        assert indices == sorted(indices)
+        assert len(pruned) == len(indices) <= len(batch)
+        for ours, index in zip(pruned, indices):
+            theirs = batch[index]
+            assert np.array_equal(ours.positions, theirs.positions)
+            assert np.array_equal(ours.votes, theirs.votes)
+            assert np.array_equal(ours.residuals, theirs.residuals)
+            assert ours.locks == theirs.locks
+        winner_row = int(np.argmax([t.total_vote for t in pruned]))
+        assert indices[winner_row] == batch_winner
+
+    def test_tight_margin_forces_resume(
+        self, deployment, plane, wavelength, rng
+    ):
+        """A margin far below the winner's eventual total loss drops
+        candidates whose frozen sums still beat it — finish must resume
+        them rather than trust the prune."""
+        series, starts = self.make_problem(deployment, plane, wavelength, rng)
+        tracer = BatchedTracer(plane, wavelength)
+        state, pruned = self.run_pruned(tracer, series, starts, 1e-6, 1)
+        assert state.pruned_at, "tight margin should have dropped candidates"
+        resumed = [i for i in state.result_indices if i in state.pruned_at]
+        assert resumed, "frozen sums near zero must trigger the resume path"
+
+    def test_generous_margin_certifies_losers(
+        self, deployment, plane, wavelength, rng
+    ):
+        """A sane margin + burn-in drops hopeless candidates for good:
+        they are certified by the vote bound, not resumed."""
+        series, starts = self.make_problem(deployment, plane, wavelength, rng)
+        tracer = BatchedTracer(plane, wavelength)
+        state, pruned = self.run_pruned(tracer, series, starts, 3.0, 40)
+        assert state.pruned_at, "wrong-lobe candidates should get dropped"
+        certified = set(state.pruned_at) - set(state.result_indices)
+        assert certified, "expected at least one certified loser"
+        # Certified losers really are losers: their full batch totals
+        # fall below the returned winner's.
+        batch = tracer.trace_all(series, np.stack([state.starts[i] for i in sorted(certified)]))
+        winner_total = max(t.total_vote for t in pruned)
+        for trace in batch:
+            assert trace.total_vote < winner_total
+
+    def test_running_votes_freeze_at_drop(
+        self, deployment, plane, wavelength, rng
+    ):
+        series, starts = self.make_problem(deployment, plane, wavelength, rng)
+        tracer = BatchedTracer(plane, wavelength)
+        delta = np.stack([entry.delta_phi for entry in series])
+        state = tracer.begin(
+            [entry.pair for entry in series],
+            delta[:, 0],
+            starts,
+            prune_margin=0.5,
+            prune_burn_in=4,
+        )
+        frozen: dict[int, float] = {}
+        for step in range(delta.shape[1]):
+            tracer.step(state, delta[:, step])
+            running = state.running_total_votes()
+            for index in state.pruned_at:
+                if index in frozen:
+                    assert running[index] == frozen[index]
+                else:
+                    frozen[index] = running[index]
+        assert frozen, "expected drops under a 0.5-vote margin"
+
+    def test_prune_knob_validation(self, deployment, plane, wavelength, rng):
+        series, starts = self.make_problem(deployment, plane, wavelength, rng)
+        tracer = BatchedTracer(plane, wavelength)
+        pairs = [entry.pair for entry in series]
+        delta0 = series[0].delta_phi[:1].repeat(len(pairs))
+        with pytest.raises(ValueError, match="prune_margin"):
+            tracer.begin(pairs, delta0, starts, prune_margin=0.0)
+        with pytest.raises(ValueError, match="prune_margin"):
+            tracer.begin(pairs, delta0, starts, prune_margin=-1.0)
+        with pytest.raises(ValueError, match="prune_burn_in"):
+            tracer.begin(pairs, delta0, starts, prune_margin=1.0, prune_burn_in=0)

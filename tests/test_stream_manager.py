@@ -231,3 +231,182 @@ class TestReplay:
         assert all(
             session.result is None for session in manager.sessions.values()
         )
+
+
+class TestEviction:
+    def _split_streams(self, log, tags, cut):
+        """Tag 0's reports truncated at ``cut``; tag 1's kept whole."""
+        early_epc = tags[0].epc.to_hex()
+        merged = [
+            r
+            for r in log.reports
+            if r.epc_hex != early_epc or r.time < cut
+        ]
+        return early_epc, merged
+
+    def test_idle_tag_is_auto_finalized(self, two_tag_world):
+        """A tag that stops replying is evicted mid-stream: FINALIZED
+        then EVICTED fire, and its result matches the per-tag batch over
+        the reports it did send."""
+        system, deployment, log, tags = two_tag_world
+        early_epc, merged = self._split_streams(log, tags, cut=0.8)
+        manager = SessionManager(
+            system, idle_timeout=0.3, candidate_count=2
+        )
+        order = []
+        manager.on_session_finalized = lambda e: order.append(("fin", e.epc_hex))
+        manager.on_session_evicted = lambda e: order.append(("evi", e.epc_hex))
+        events = manager.extend(merged)
+        assert manager.evicted_epcs == [early_epc]
+        assert ("fin", early_epc) in order and ("evi", early_epc) in order
+        assert order.index(("fin", early_epc)) < order.index(("evi", early_epc))
+        evicted_events = [
+            e for e in events if e.type is SessionEventType.EVICTED
+        ]
+        assert [e.epc_hex for e in evicted_events] == [early_epc]
+        assert evicted_events[0].result is not None
+        # The evicted session answered exactly like batch over its reports.
+        series = build_pair_series(
+            MeasurementLog([r for r in merged if r.epc_hex == early_epc]),
+            deployment,
+            epc_hex=early_epc,
+        )
+        batch = system.reconstruct(series, candidate_count=2)
+        assert np.array_equal(
+            evicted_events[0].result.trajectory, batch.trajectory
+        )
+        # The surviving tag was untouched and finalizes normally.
+        other = next(t.epc.to_hex() for t in tags if t.epc.to_hex() != early_epc)
+        results = manager.finalize_all()
+        assert other in results and early_epc in results
+
+    def test_stragglers_counted_after_eviction(self, two_tag_world):
+        system, _deployment, log, tags = two_tag_world
+        early_epc, merged = self._split_streams(log, tags, cut=0.8)
+        manager = SessionManager(system, idle_timeout=0.3, candidate_count=2)
+        manager.extend(merged)
+        assert manager.evicted_epcs == [early_epc]
+        before = manager.stragglers
+        late = next(
+            r for r in log.reports if r.epc_hex == early_epc and r.time >= 0.8
+        )
+        assert manager.ingest(late) == []
+        assert manager.stragglers == before + 1
+        # The evicted session did not ingest the straggler.
+        assert all(
+            r.time < 0.8
+            for r in manager.sessions[early_epc]._reports
+        )
+
+    def test_ghost_eviction_fails_closed(self, two_tag_world):
+        """Evicting a never-warmed ghost records the failure, fires the
+        EVICTED event with result=None, and keeps the loop running —
+        later ghost reports are stragglers, not retries."""
+        from repro.rfid.reader import PhaseReport
+
+        system, _deployment, log, _tags = two_tag_world
+        manager = SessionManager(system, idle_timeout=0.3, candidate_count=2)
+        ghost = "DEADBEEF" * 3
+        evicted = []
+        manager.on_session_evicted = lambda e: evicted.append(e)
+        manager.ingest(PhaseReport(0.05, ghost, 1, 1, 1.0, -70.0))
+        manager.extend([r for r in log.reports if r.time >= 0.05])
+        assert manager.evicted_epcs == [ghost]
+        assert evicted and evicted[0].result is None
+        assert isinstance(manager.failures[ghost], ValueError)
+        before = manager.stragglers
+        manager.ingest(PhaseReport(2.0, ghost, 1, 1, 1.0, -70.0))
+        assert manager.stragglers == before + 1
+
+    def test_max_sessions_cap_evicts_lru(self, two_tag_world):
+        """With a cap of 1, the longest-idle open session is evicted the
+        moment a new EPC shows up."""
+        system, _deployment, log, tags = two_tag_world
+        manager = SessionManager(system, max_sessions=1, candidate_count=2)
+        first_epc = log.reports[0].epc_hex
+        second_epc = next(
+            r.epc_hex for r in log.reports if r.epc_hex != first_epc
+        )
+        for report in log.reports:
+            manager.ingest(report)
+            if len(manager.sessions) == 2:
+                break
+        assert manager.evicted_epcs == [first_epc]
+        assert len(manager.open_epcs()) == 1
+        assert manager.open_epcs() == [second_epc]
+
+    def test_eviction_knob_validation(self, two_tag_world):
+        system, *_ = two_tag_world
+        with pytest.raises(ValueError, match="idle_timeout"):
+            SessionManager(system, idle_timeout=0.0)
+        with pytest.raises(ValueError, match="max_sessions"):
+            SessionManager(system, max_sessions=0)
+
+    def test_replay_evicts_like_live(self, two_tag_world, tmp_path):
+        """Report-time keying means a JSONL replay evicts at the same
+        points a live run did."""
+        from repro.io.logs import save_phase_log
+
+        system, _deployment, log, tags = two_tag_world
+        early_epc, merged = self._split_streams(log, tags, cut=0.8)
+        path = tmp_path / "evict.jsonl"
+        save_phase_log(MeasurementLog(list(merged)), path)
+
+        live = SessionManager(system, idle_timeout=0.3, candidate_count=2)
+        live.extend(merged)
+        live_results = live.finalize_all()
+
+        replayed = SessionManager(system, idle_timeout=0.3, candidate_count=2)
+        replay_results = replayed.replay(path)
+        assert replayed.evicted_epcs == live.evicted_epcs == [early_epc]
+        for epc, result in live_results.items():
+            assert np.array_equal(
+                replay_results[epc].trajectory, result.trajectory
+            )
+
+
+class TestFailedFinalizeReingest:
+    def test_ghost_failure_then_more_data_recovers(self, two_tag_world):
+        """A session whose finalize failed stays open: more reports may
+        still rescue it, and a later successful finalize clears the
+        stale failure entry."""
+        system, _deployment, log, tags = two_tag_world
+        epc = tags[0].epc.to_hex()
+        own = [r for r in log.reports if r.epc_hex == epc]
+        manager = SessionManager(system, candidate_count=2)
+        manager.extend(own[:3])  # far too few reads to warm up
+        results = manager.finalize_all()
+        assert results == {}
+        assert isinstance(manager.failures[epc], ValueError)
+        session = manager.sessions[epc]
+        assert session.result is None  # failed finalize left it open
+
+        # The tag bursts back to life: re-ingest must work...
+        events = manager.extend(own[3:])
+        assert session.report_count == len(own)
+        assert any(e.type is SessionEventType.POINT for e in events)
+        # ...and the retried finalize succeeds and clears the failure.
+        results = manager.finalize_all()
+        assert epc in results
+        assert epc not in manager.failures
+
+
+class TestIdleClockMonotonicity:
+    def test_interleaved_antenna_times_do_not_age_a_tag(self, two_tag_world):
+        """Reports from different antennas may interleave slightly out of
+        global order; the idle clock must keep the tag's *latest* time."""
+        from repro.rfid.reader import PhaseReport
+
+        system, *_ = two_tag_world
+        manager = SessionManager(system, idle_timeout=0.5, candidate_count=2)
+        tag, other = "AA" * 12, "BB" * 12
+        manager.ingest(PhaseReport(1.00, tag, 1, 1, 1.0, -60.0))
+        manager.ingest(PhaseReport(0.70, tag, 1, 2, 1.0, -60.0))
+        assert manager.last_report_time[tag] == 1.00
+        # Frontier advances past 0.70 + timeout but not 1.00 + timeout:
+        # the tag is *not* idle and must survive the sweep.
+        manager.ingest(PhaseReport(1.45, other, 1, 3, 1.0, -60.0))
+        assert manager.evicted_epcs == []
+        # Past 1.00 + timeout it genuinely idled out.
+        manager.ingest(PhaseReport(1.55, other, 1, 3, 1.0, -60.0))
+        assert manager.evicted_epcs == [tag]
