@@ -79,9 +79,32 @@ def main(argv: list[str] | None = None) -> int:
             )
             print(f"machine normalization factor: {machine_factor:.3f}\n")
 
+    # Baseline-vs-fresh trajectory table: one row per op with the
+    # committed wall time, the (normalized) fresh wall time, the change,
+    # and — where the op measures itself against a legacy/reference
+    # implementation — how the speedup-vs-legacy trajectory moved. This
+    # is what makes per-PR perf history readable straight from the
+    # workflow log.
+    def speedup_cell(committed, measured) -> str:
+        def fmt(value) -> str:
+            return f"{float(value):.1f}x" if value else "?"
+
+        before = committed.get("speedup") if committed else None
+        after = measured.get("speedup") if measured else None
+        if before is None and after is None:
+            return "-"
+        return f"{fmt(before)} -> {fmt(after)}"
+
+    header = (
+        f"{'op':32s} {'baseline':>11s} {'fresh':>11s} {'change':>8s} "
+        f"{'speedup vs legacy':>19s}  status"
+    )
+    print(header)
+    print("-" * len(header))
     for op, committed in sorted(baseline.items()):
         measured = fresh.get(op)
         if measured is None:
+            print(f"{op:32s} {'':>11s} {'':>11s} {'':>8s} {'':>19s}  MISSING")
             failures.append(f"{op}: missing from the fresh run")
             continue
         before = float(committed["wall_seconds"])
@@ -89,8 +112,8 @@ def main(argv: list[str] | None = None) -> int:
         change = after / before - 1.0
         status = "REGRESSION" if change > args.max_regression else "ok"
         print(
-            f"{op:32s} {before * 1e3:10.2f} ms -> {after * 1e3:10.2f} ms "
-            f"({change:+7.1%})  {status}"
+            f"{op:32s} {before * 1e3:9.2f} ms {after * 1e3:8.2f} ms "
+            f"{change:+8.1%} {speedup_cell(committed, measured):>19s}  {status}"
         )
         if change > args.max_regression:
             failures.append(
@@ -99,7 +122,12 @@ def main(argv: list[str] | None = None) -> int:
             )
 
     for op in sorted(set(fresh) - set(baseline)):
-        print(f"{op:32s} (new op, no baseline)")
+        measured = fresh[op]
+        after = float(measured["wall_seconds"]) / machine_factor
+        print(
+            f"{op:32s} {'(new)':>11s} {after * 1e3:8.2f} ms {'':>8s} "
+            f"{speedup_cell(None, measured):>19s}  new op"
+        )
 
     if failures:
         print("\nBenchmark regression gate FAILED:", file=sys.stderr)

@@ -67,8 +67,9 @@ def main() -> None:
                                   cycles=3, speed=0.3),
     }
 
-    correct = 0
-    for truth_label, (times, points) in gestures.items():
+    # Record every gesture's phase series first…
+    series_blocks = []
+    for times, points in gestures.values():
         def position_at(_serial, when, times=times, points=points):
             u = np.interp(when, times, points[:, 0])
             v = np.interp(when, times, points[:, 1])
@@ -88,10 +89,17 @@ def main() -> None:
                 reader.inventory([tag], times[-1] + 0.2, rng,
                                  position_at=position_at)
             )
-        series = build_pair_series(
+        series_blocks.append(build_pair_series(
             MeasurementLog(reports), deployment, sample_rate=20.0
-        )
-        result = system.reconstruct(series, candidate_count=3)
+        ))
+
+    # …then reconstruct them all through one merged engine block: every
+    # gesture's candidates share the batched per-step solve, and each
+    # result is bit-identical to its own system.reconstruct() call.
+    results = system.reconstruct_many(series_blocks, candidate_count=3)
+
+    correct = 0
+    for truth_label, result in zip(gestures, results):
         prediction = classify_gesture(result.trajectory)
         verdict = "✓" if prediction == truth_label else "✗"
         correct += prediction == truth_label

@@ -28,6 +28,19 @@ path)::
             print(point.time, point.position)
     result = session.finalize()
 
+**Batched multi-word** — many independent recordings (words, users,
+gestures) reconstruct through *one* merged engine block: candidates
+from every word share the batched per-step solve, and each word's
+result is bit-identical to its own ``reconstruct`` call::
+
+    results = system.reconstruct_many([series_a, series_b, series_c])
+
+    # …or across different systems/planes (each user at their own
+    # distance), and wired into the scenario runner:
+    from repro.core.pipeline import reconstruct_many
+    results = reconstruct_many([(system_a, series_a), (system_b, series_b)])
+    runs = simulate_words(jobs, batch_reconstruct=True)   # figure sweeps
+
 Two families of knobs tune a long-running session:
 
 * ``prune_margin`` / ``prune_burn_in`` — after the burn-in, candidate
@@ -39,7 +52,10 @@ Two families of knobs tune a long-running session:
   always bit-identical to the batch answer.
 * on a :class:`repro.stream.SessionManager`, ``idle_timeout`` /
   ``max_sessions`` — evict (auto-finalize) tags that stop replying, so
-  an always-on merged stream holds bounded open-session state.
+  an always-on merged stream holds bounded open-session state — and
+  ``retain_results`` — shed finalized-session history past a cap
+  (each closing session releases its resampler/trace/report buffers),
+  so a day-long stream's memory stays bounded.
 
 ``main`` below runs both entry points (streaming with pruning enabled)
 and checks they agree. Run it with::

@@ -19,7 +19,7 @@ import sys
 
 import numpy as np
 
-from repro.experiments.scenarios import ScenarioConfig, simulate_word
+from repro.experiments.scenarios import ScenarioConfig, WordJob, simulate_words
 from repro.handwriting.recognizer import WordRecognizer
 
 
@@ -39,14 +39,25 @@ def render_ascii(points: np.ndarray, width: int = 64, height: int = 14) -> str:
 def main(words: list[str]) -> None:
     recognizer = WordRecognizer()
     correct = 0
-    for index, word in enumerate(words):
-        run = simulate_word(
-            word,
-            user=index % 5,
-            seed=4242 + index,
-            config=ScenarioConfig(distance=2.0, los=True),
-            run_baseline=False,
-        )
+    # Simulate the whole batch of writing sessions through the shared
+    # substrate (one layout, one channel) in one call…
+    runs = simulate_words(
+        [
+            WordJob(
+                word,
+                user=index % 5,
+                seed=4242 + index,
+                config=ScenarioConfig(distance=2.0, los=True),
+            )
+            for index, word in enumerate(words)
+        ],
+        run_baseline=False,
+    )
+    # …then stream each word's reports through a live session, as a real
+    # touch screen would. (A figure-style sweep that only needs final
+    # trajectories would pass batch_reconstruct=True above instead and
+    # read run.rfidraw_result — one merged engine block for all words.)
+    for word, run in zip(words, runs):
         # Stream the reader reports through a live session, as a real
         # touch screen would; finalize() returns the same result the
         # batch facade computes on the finished log. prune_margin drops

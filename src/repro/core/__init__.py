@@ -32,7 +32,11 @@ from repro.core.tracing import (
     TrajectoryTracer,
     lock_lobes,
 )
-from repro.core.pipeline import ReconstructionResult, RFIDrawSystem
+from repro.core.pipeline import (
+    ReconstructionResult,
+    RFIDrawSystem,
+    reconstruct_many,
+)
 
 __all__ = [
     "BatchedTracer",
@@ -52,4 +56,5 @@ __all__ = [
     "lock_lobes",
     "ReconstructionResult",
     "RFIDrawSystem",
+    "reconstruct_many",
 ]

@@ -318,12 +318,32 @@ def _robust_cost_and_weights(
 
 @dataclass
 class _StepWorkspace:
-    """Per-trace constants threaded through the Gauss–Newton steps."""
+    """Per-trace constants threaded through the Gauss–Newton steps.
+
+    ``origin``/``u_axis``/``v_axis``/``axes`` carry the writing plane's
+    frame: shared ``(3,)``/``(3, 2)`` arrays for a single trace, or —
+    in a merged multi-trace step (:meth:`BatchedTracer.step_many`) —
+    per-candidate-row ``(C, 3)``/``(C, 3, 2)`` stacks. Broadcasting
+    makes the two shapes arithmetically identical row by row, which is
+    what lets words written on *different* planes share one solve
+    block. ``plane`` stays for the per-trace result building
+    (:meth:`BatchedTracer.finish`); it is ``None`` on merged
+    workspaces.
+    """
 
     bank: PairBank
-    plane: WritingPlane
+    plane: WritingPlane | None
     scale: float
-    axes: np.ndarray  # (3, 2) plane axes as columns
+    axes: np.ndarray  # (3, 2) plane axes as columns — or (C, 3, 2)
+    origin: np.ndarray = None  # (3,) or (C, 3)
+    u_axis: np.ndarray = None
+    v_axis: np.ndarray = None
+
+    def __post_init__(self) -> None:
+        if self.origin is None:
+            self.origin = self.plane.origin
+            self.u_axis = self.plane.u_axis
+            self.v_axis = self.plane.v_axis
 
 
 @dataclass
@@ -603,9 +623,137 @@ class BatchedTracer:
         delta_phi = np.asarray(delta_phi, dtype=float)
         if delta_phi.shape != (len(state.workspace.bank),):
             raise ValueError("delta_phi must hold one Δφ per pair")
-        active = state.active
         targets = delta_phi[np.newaxis, :] / _TWO_PI + state.active_locks
         current, vote = self._solve_step(state.workspace, targets, state.current)
+        self._record(state, delta_phi, current, vote)
+        return current, vote
+
+    def step_many(
+        self, items: list[tuple[TraceState, np.ndarray]]
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Advance several independent traces in one batched solve.
+
+        The per-candidate solve is row-separable (see :meth:`begin`), so
+        stacking the active candidates of many words into a single
+        ``(ΣC, 2)`` Gauss–Newton block changes nothing about any row's
+        arithmetic — each state records exactly the positions and votes
+        its own :meth:`step` would have produced, bit for bit, while the
+        per-step numpy dispatch is paid once instead of once per word.
+        This is the kernel under
+        :func:`repro.core.pipeline.reconstruct_many`.
+
+        Args:
+            items: ``(state, delta_phi)`` pairs, one per trace to
+                advance at this instant (a word whose timeline already
+                ended is simply left out). The states must share pair
+                geometry (identical stacked antenna positions and pair
+                index arrays) and scale (``round_trip / wavelength``);
+                their writing *planes* may differ — each candidate row
+                carries its own plane frame through the merged solve.
+
+        Returns:
+            One ``(positions, votes)`` pair per item, exactly what
+            :meth:`step` returns for that state; the state histories are
+            updated (and pruned, where enabled) identically.
+        """
+        prepared = []
+        for state, delta_phi in items:
+            delta_phi = np.asarray(delta_phi, dtype=float)
+            if delta_phi.shape != (len(state.workspace.bank),):
+                raise ValueError("delta_phi must hold one Δφ per pair")
+            prepared.append((state, delta_phi))
+        if not prepared:
+            return []
+        if len(prepared) == 1:
+            state, delta_phi = prepared[0]
+            return [self.step(state, delta_phi)]
+        base = prepared[0][0].workspace
+        for state, _ in prepared[1:]:
+            self._require_mergeable(base, state.workspace)
+        seeds = np.concatenate([state.current for state, _ in prepared])
+        targets = np.concatenate(
+            [
+                delta_phi[np.newaxis, :] / _TWO_PI + state.active_locks
+                for state, delta_phi in prepared
+            ]
+        )
+        workspace = self._merged_workspace([state for state, _ in prepared])
+        current, vote = self._solve_step(workspace, targets, seeds)
+        results: list[tuple[np.ndarray, np.ndarray]] = []
+        offset = 0
+        for state, delta_phi in prepared:
+            count = state.active_count
+            positions = current[offset : offset + count].copy()
+            votes = vote[offset : offset + count].copy()
+            offset += count
+            self._record(state, delta_phi, positions, votes)
+            results.append((positions, votes))
+        return results
+
+    @staticmethod
+    def _require_mergeable(base: _StepWorkspace, ws: _StepWorkspace) -> None:
+        """States sharing a solve block must share pair geometry + scale."""
+        if ws is base:
+            return
+        bank, ref = ws.bank, base.bank
+        if (
+            ws.scale != base.scale
+            or bank.positions.shape != ref.positions.shape
+            or len(bank) != len(ref)
+            or not np.array_equal(bank.positions, ref.positions)
+            or not np.array_equal(bank.first_index, ref.first_index)
+            or not np.array_equal(bank.second_index, ref.second_index)
+        ):
+            raise ValueError(
+                "step_many needs states with identical antenna/pair "
+                "geometry and round_trip/wavelength scale"
+            )
+
+    @staticmethod
+    def _merged_workspace(states: list[TraceState]) -> _StepWorkspace:
+        """One workspace spanning the stacked rows of many states.
+
+        When every state traces on the same plane object the first
+        workspace serves as-is (broadcast frames); otherwise each
+        state's plane frame is repeated over its active rows so the
+        merged block evaluates per-row frames — bit-identical to each
+        state's own evaluation, since the frame arithmetic is
+        elementwise per row.
+        """
+        first = states[0].workspace
+        if all(state.workspace.plane is first.plane for state in states):
+            return first
+        counts = [state.active_count for state in states]
+
+        def stacked(attribute: str, tail: tuple) -> np.ndarray:
+            return np.concatenate(
+                [
+                    np.broadcast_to(
+                        getattr(state.workspace, attribute), (count, *tail)
+                    )
+                    for state, count in zip(states, counts)
+                ]
+            )
+
+        return _StepWorkspace(
+            bank=first.bank,
+            plane=None,
+            scale=first.scale,
+            axes=stacked("axes", (3, 2)),
+            origin=stacked("origin", (3,)),
+            u_axis=stacked("u_axis", (3,)),
+            v_axis=stacked("v_axis", (3,)),
+        )
+
+    def _record(
+        self,
+        state: TraceState,
+        delta_phi: np.ndarray,
+        current: np.ndarray,
+        vote: np.ndarray,
+    ) -> None:
+        """Fold one solved instant into a state's histories (and prune)."""
+        active = state.active
         state.current = current
         state.positions.append(current)
         state.votes.append(vote)
@@ -623,7 +771,6 @@ class BatchedTracer:
             and state.step_count >= state.prune_burn_in
         ):
             self._prune(state)
-        return current, vote
 
     @staticmethod
     def _prune(state: TraceState) -> None:
@@ -798,11 +945,10 @@ class BatchedTracer:
         exact float operations they perform (same ufuncs, same order —
         bit-identical results) minus their wrapper overhead.
         """
-        plane = ws.plane
         world = (
-            plane.origin
-            + uv[:, 0:1] * plane.u_axis
-            + uv[:, 1:2] * plane.v_axis
+            ws.origin
+            + uv[:, 0:1] * ws.u_axis
+            + uv[:, 1:2] * ws.v_axis
         )  # (C, 3)
         to_antenna = world[:, np.newaxis, :] - ws.bank.positions[np.newaxis, :, :]
         dists = np.sqrt(

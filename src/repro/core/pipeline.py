@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.engine import BatchedTracer
+from repro.core.engine import BatchedTracer, PairBank
 from repro.geometry.antennas import Deployment
 from repro.geometry.plane import WritingPlane
 from repro.rf.constants import DEFAULT_WAVELENGTH
@@ -27,7 +27,7 @@ from repro.core.positioning import (
 from repro.core.tracing import TraceResult, TracerConfig
 from repro.rfid.sampling import PairSeries, snapshot_at
 
-__all__ = ["ReconstructionResult", "RFIDrawSystem"]
+__all__ = ["ReconstructionResult", "RFIDrawSystem", "reconstruct_many"]
 
 
 @dataclass
@@ -219,6 +219,164 @@ class RFIDrawSystem:
             traces=traces,
         )
 
+    def reconstruct_many(
+        self,
+        series_blocks,
+        candidate_count: int | None = None,
+    ) -> list["ReconstructionResult"]:
+        """Batch :meth:`reconstruct` over many independent words.
+
+        Convenience form of the module-level :func:`reconstruct_many`
+        for words that share this system (same deployment and plane) —
+        e.g. many gestures recorded on one virtual touch screen.
+
+        Args:
+            series_blocks: one ``list[PairSeries]`` per word.
+            candidate_count: forwarded to every word's positioner.
+
+        Returns:
+            One :class:`ReconstructionResult` per block, in order, each
+            bit-identical to ``self.reconstruct(block, candidate_count)``.
+        """
+        return reconstruct_many(
+            [(self, series) for series in series_blocks], candidate_count
+        )
+
     def locate(self, series: list[PairSeries], index: int = 0) -> PositionCandidate:
         """One-shot position fix from a single snapshot (no tracing)."""
         return self.positioner.locate(snapshot_at(series, index=index))
+
+
+# ----------------------------------------------------------------------
+# Batched multi-word reconstruction
+# ----------------------------------------------------------------------
+def _check_series_block(series: list[PairSeries]) -> None:
+    """The same shape validation the streaming facade applies per word."""
+    if not series:
+        raise ValueError("no pair series given")
+    length = len(series[0])
+    if length == 0:
+        raise ValueError("pair series are empty")
+    if not all(len(entry) == length for entry in series):
+        raise ValueError("pair series do not share a timeline")
+
+
+def reconstruct_many(
+    items,
+    candidate_count: int | None = None,
+) -> list[ReconstructionResult]:
+    """Reconstruct many independent words in merged engine blocks.
+
+    The engine's per-candidate solve is row-separable
+    (:meth:`repro.core.engine.BatchedTracer.begin`), so the candidate
+    trajectories of *different* words can share one batched
+    Gauss–Newton block: words whose pair geometry and
+    ``round_trip/wavelength`` scale match are grouped, their candidates
+    stacked into a single ``(ΣC, 2)`` block, and the group is stepped on
+    a merged timeline — at each instant every word that still has
+    samples contributes its Δφ vector, and words whose timeline ended
+    simply drop out (mask-advance). Writing planes may differ within a
+    group (each candidate row carries its own plane frame); words whose
+    geometry matches nothing else, or whose system uses a reference
+    tracer without the incremental API, fall back to plain
+    :meth:`RFIDrawSystem.reconstruct`.
+
+    Every result is **bit-identical** to the word's own
+    ``system.reconstruct(series, candidate_count)`` — the batch facade
+    and this runner drive the same ``begin``/``step``/``finish``
+    machinery, merged stepping included
+    (``tests/test_core_reconstruct_many.py`` enforces this across
+    seeds, LOS/NLOS and the one-way WiFi configuration). What changes
+    is the constant factor: the per-step numpy dispatch is paid once
+    per group instead of once per word, which is what makes the
+    fig11/fig14/fig15 sweeps scale.
+
+    Args:
+        items: ``(system, series)`` pairs — one
+            :class:`RFIDrawSystem` (or compatible facade) and its
+            word's ``list[PairSeries]`` per entry.
+        candidate_count: how many initial candidates to trace per word
+            (default: each positioner's configured count).
+
+    Returns:
+        One :class:`ReconstructionResult` per item, in item order.
+    """
+    entries = [(system, list(series)) for system, series in items]
+    results: list[ReconstructionResult | None] = [None] * len(entries)
+    groups: dict[tuple, list[int]] = {}
+    banks: dict[int, PairBank] = {}
+    for index, (system, series) in enumerate(entries):
+        _check_series_block(series)
+        tracer = system.tracer
+        if not (hasattr(tracer, "begin") and hasattr(tracer, "step_many")):
+            # Reference tracers (scipy / grid search) have no
+            # incremental API — keep them usable, one word at a time.
+            results[index] = system.reconstruct(series, candidate_count)
+            continue
+        bank = PairBank.from_series(series)
+        config = tracer.config
+        key = (
+            type(tracer),
+            bank.positions.tobytes(),
+            bank.first_index.tobytes(),
+            bank.second_index.tobytes(),
+            float(system.wavelength),
+            float(system.round_trip),
+            config.loss,
+            float(config.loss_scale),
+            float(config.max_step),
+            int(tracer.max_iterations),
+            float(tracer.step_tolerance),
+        )
+        banks[index] = bank
+        groups.setdefault(key, []).append(index)
+    for indices in groups.values():
+        _reconstruct_group(entries, indices, banks, candidate_count, results)
+    return results
+
+
+def _reconstruct_group(
+    entries: list,
+    indices: list[int],
+    banks: dict[int, PairBank],
+    candidate_count: int | None,
+    results: list,
+) -> None:
+    """Run one geometry-compatible group through merged stepping."""
+    tracer = entries[indices[0]][0].tracer
+    states = []
+    deltas = []
+    lengths = []
+    all_candidates = []
+    for index in indices:
+        system, series = entries[index]
+        # The batch front half, per word: positioner on the first
+        # snapshot, lobe locks from the first Δφ vector.
+        snapshot = snapshot_at(series, index=0)
+        candidates = system.positioner.candidates(snapshot, candidate_count)
+        if not candidates:
+            raise ValueError("the positioner produced no candidates")
+        starts = np.stack([candidate.position for candidate in candidates])
+        delta = np.stack([entry.delta_phi for entry in series])  # (P, T)
+        states.append(system.tracer.begin(banks[index], delta[:, 0], starts))
+        deltas.append(delta)
+        lengths.append(len(series[0]))
+        all_candidates.append(candidates)
+    for step in range(max(lengths)):
+        tracer.step_many(
+            [
+                (states[row], deltas[row][:, step])
+                for row in range(len(indices))
+                if step < lengths[row]
+            ]
+        )
+    for row, index in enumerate(indices):
+        system, series = entries[index]
+        traces = system.tracer.finish(states[row])
+        chosen = int(np.argmax([trace.total_vote for trace in traces]))
+        results[index] = ReconstructionResult(
+            times=series[0].times.copy(),
+            chosen_index=chosen,
+            candidates=all_candidates[row],
+            traces=traces,
+        )

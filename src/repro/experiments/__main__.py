@@ -5,6 +5,16 @@ Usage::
     python -m repro.experiments                # every figure, fast preset
     python -m repro.experiments --full         # paper-scale workloads
     python -m repro.experiments fig11 fig14    # a subset
+    python -m repro.experiments fig11 --workers 8 --processes
+                                               # fan word simulations
+                                               # across a process pool
+
+Process fan-out lives here, at the CLI layer: the figure modules take
+plain ``max_workers``/``use_processes`` arguments and stay importable
+without spawning anything. Word *simulations* fan out to the executor;
+the reconstructions then run batched in this process through one merged
+engine block (``reconstruct_many``) regardless of worker count, so
+results are identical for any ``--workers`` value.
 """
 
 from __future__ import annotations
@@ -33,6 +43,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="paper-scale workloads (slow); default is a fast preset",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan word simulations across N executor workers "
+             "(experiments without a batch stage ignore this)",
+    )
+    parser.add_argument(
+        "--processes",
+        action="store_true",
+        help="use a process pool instead of a thread pool for --workers",
+    )
     args = parser.parse_args(argv)
 
     wanted = args.experiments or list(EXPERIMENTS)
@@ -42,7 +65,12 @@ def main(argv: list[str] | None = None) -> int:
 
     for experiment_id in wanted:
         started = time.time()
-        result = run_experiment(experiment_id, fast=not args.full)
+        result = run_experiment(
+            experiment_id,
+            fast=not args.full,
+            max_workers=args.workers,
+            use_processes=args.processes,
+        )
         print(format_result(result))
         print(f"[{time.time() - started:.1f}s]")
         print()

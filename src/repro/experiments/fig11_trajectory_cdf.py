@@ -50,8 +50,17 @@ def collect_runs(
     seed: int,
     users: int = 5,
     run_baseline: bool = True,
+    max_workers: int | None = None,
+    use_processes: bool = False,
 ):
     """Simulate ``words`` writing sessions; yields per-run error data.
+
+    The batch routes through :func:`simulate_words` with
+    ``batch_reconstruct=True``, so every word's trajectory comes out of
+    one merged engine block (bit-identical to per-word reconstruction);
+    ``max_workers``/``use_processes`` fan the *simulations* across an
+    executor first (``python -m repro.experiments --workers N
+    [--processes]`` wires these from the command line).
 
     Returns:
         list of dicts with keys ``rfidraw_errors``, ``baseline_errors``,
@@ -71,8 +80,15 @@ def collect_runs(
         )
         for index, word in enumerate(chosen)
     ]
+    runs = simulate_words(
+        jobs,
+        run_baseline=run_baseline,
+        max_workers=max_workers,
+        use_processes=use_processes,
+        batch_reconstruct=True,
+    )
     collected = []
-    for word, run_ in zip(chosen, simulate_words(jobs, run_baseline=run_baseline)):
+    for word, run_ in zip(chosen, runs):
         reconstruction = run_.rfidraw_result
         truth = run_.truth_on(run_.timeline)
         entry = {
@@ -98,13 +114,20 @@ def collect_runs(
     return collected
 
 
-def run(words: int = 30, seed: int = 11) -> ExperimentResult:
+def run(
+    words: int = 30,
+    seed: int = 11,
+    max_workers: int | None = None,
+    use_processes: bool = False,
+) -> ExperimentResult:
     """Regenerate Fig. 11's CDF summaries for LOS and NLOS.
 
     Args:
         words: writing sessions per setting (the paper used 150 total;
             30 per setting gives stable medians in a few minutes).
         seed: experiment seed.
+        max_workers / use_processes: executor fan-out for the word
+            simulations (see :func:`collect_runs`).
     """
     result = ExperimentResult(
         "fig11",
@@ -112,7 +135,13 @@ def run(words: int = 30, seed: int = 11) -> ExperimentResult:
     )
     for los in (True, False):
         setting = "los" if los else "nlos"
-        collected = collect_runs(words, los, seed)
+        collected = collect_runs(
+            words,
+            los,
+            seed,
+            max_workers=max_workers,
+            use_processes=use_processes,
+        )
         rfidraw = EmpiricalCdf(
             np.concatenate([c["rfidraw_errors"] for c in collected])
         )

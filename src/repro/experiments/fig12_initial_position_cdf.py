@@ -29,7 +29,12 @@ PAPER = {
 }
 
 
-def run(words: int = 30, seed: int = 12) -> ExperimentResult:
+def run(
+    words: int = 30,
+    seed: int = 12,
+    max_workers: int | None = None,
+    use_processes: bool = False,
+) -> ExperimentResult:
     """Regenerate Fig. 12's CDF summaries for LOS and NLOS."""
     result = ExperimentResult(
         "fig12",
@@ -37,7 +42,13 @@ def run(words: int = 30, seed: int = 12) -> ExperimentResult:
     )
     for los in (True, False):
         setting = "los" if los else "nlos"
-        collected = collect_runs(words, los, seed)
+        collected = collect_runs(
+            words,
+            los,
+            seed,
+            max_workers=max_workers,
+            use_processes=use_processes,
+        )
         rfidraw = EmpiricalCdf([c["rfidraw_init"] for c in collected])
         baseline = EmpiricalCdf([c["baseline_init"] for c in collected])
         improvement = baseline.median / max(rfidraw.median, 1e-9)

@@ -27,7 +27,12 @@ PAPER = {
 }
 
 
-def run(words: int = 40, seed: int = 13) -> ExperimentResult:
+def run(
+    words: int = 40,
+    seed: int = 13,
+    max_workers: int | None = None,
+    use_processes: bool = False,
+) -> ExperimentResult:
     """Bin traces by initial error; report median trajectory error per bin.
 
     Mixes LOS and NLOS runs (as the effect is about lobe distance, not
@@ -37,8 +42,11 @@ def run(words: int = 40, seed: int = 13) -> ExperimentResult:
         "fig13",
         "Initial position accuracy vs trajectory accuracy (RF-IDraw)",
     )
-    collected = collect_runs(words, True, seed, run_baseline=False)
-    collected += collect_runs(words, False, seed + 1, run_baseline=False)
+    fan_out = dict(max_workers=max_workers, use_processes=use_processes)
+    collected = collect_runs(words, True, seed, run_baseline=False, **fan_out)
+    collected += collect_runs(
+        words, False, seed + 1, run_baseline=False, **fan_out
+    )
 
     edges = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, np.inf]
     labels = ["0-0.1", "0.1-0.2", "0.2-0.3", "0.3-0.4", "0.4-0.5", ">0.5"]

@@ -63,6 +63,8 @@ def run(
     words_per_distance: int = 8,
     distances: tuple[float, ...] = (2.0, 3.0, 5.0),
     seed: int = 14,
+    max_workers: int | None = None,
+    use_processes: bool = False,
 ) -> ExperimentResult:
     """Measure per-character recognition for both systems vs distance."""
     result = ExperimentResult(
@@ -85,7 +87,13 @@ def run(
             )
             for w_index, word in enumerate(words)
         ]
-        for run_ in simulate_words(jobs):
+        runs = simulate_words(
+            jobs,
+            max_workers=max_workers,
+            use_processes=use_processes,
+            batch_reconstruct=True,
+        )
+        for run_ in runs:
             spans = run_.trace.letter_spans
             reconstruction = run_.rfidraw_result
             c, t = recognize_characters(

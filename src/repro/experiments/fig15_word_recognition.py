@@ -33,6 +33,8 @@ def run(
     lengths: tuple[int, ...] = (2, 3, 4, 5, 6),
     seed: int = 15,
     include_baseline: bool = True,
+    max_workers: int | None = None,
+    use_processes: bool = False,
 ) -> ExperimentResult:
     """Measure whole-word recognition for both systems vs word length.
 
@@ -81,7 +83,13 @@ def run(
             )
             for w_index, word in enumerate(chosen)
         ]
-        runs = simulate_words(jobs, run_baseline=include_baseline)
+        runs = simulate_words(
+            jobs,
+            run_baseline=include_baseline,
+            max_workers=max_workers,
+            use_processes=use_processes,
+            batch_reconstruct=True,
+        )
         for word, run_ in zip(chosen, runs):
             prediction = recognizer.classify(run_.rfidraw_result.trajectory)
             rf_correct += prediction == word

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import inspect
+
 from repro.experiments.harness import ExperimentResult
 from repro.experiments import (
     fig02_beamwidth,
@@ -39,8 +41,23 @@ EXPERIMENTS: dict[str, tuple[object, dict, dict]] = {
 }
 
 
-def run_experiment(experiment_id: str, fast: bool = True) -> ExperimentResult:
-    """Run one experiment by id (``fig11``, ``noise``, …)."""
+def run_experiment(
+    experiment_id: str,
+    fast: bool = True,
+    max_workers: int | None = None,
+    use_processes: bool = False,
+) -> ExperimentResult:
+    """Run one experiment by id (``fig11``, ``noise``, …).
+
+    Args:
+        experiment_id: registry key.
+        fast: fast preset (default) or paper-scale workloads.
+        max_workers / use_processes: executor fan-out for experiments
+            whose word simulations batch through
+            :func:`repro.experiments.scenarios.simulate_words`
+            (fig11–fig15); experiments without a batch stage ignore
+            them.
+    """
     try:
         module, fast_kwargs, full_kwargs = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -48,7 +65,13 @@ def run_experiment(experiment_id: str, fast: bool = True) -> ExperimentResult:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {known}"
         ) from None
-    kwargs = fast_kwargs if fast else full_kwargs
+    kwargs = dict(fast_kwargs if fast else full_kwargs)
+    if max_workers and max_workers > 1:
+        accepted = inspect.signature(module.run).parameters
+        if "max_workers" in accepted:
+            kwargs["max_workers"] = max_workers
+            if "use_processes" in accepted:
+                kwargs["use_processes"] = use_processes
     return module.run(**kwargs)
 
 

@@ -319,7 +319,23 @@ def simulate_word(
 
     plane = writing_plane(config.distance)
 
-    def position_at(_serial: int, when: float) -> np.ndarray:
+    # The reader asks for the pen's world position once per ~2.4 ms
+    # inventory round, so the scalar path below inlines
+    # ``plane.to_world(trace.position_at(when))`` as the identical float
+    # operations (same interp inputs, same products, same addition
+    # order — bit-for-bit) minus the array-wrapper overhead. Vector
+    # queries (the reader's batched per-dwell synthesis) keep the
+    # general path.
+    trace_times = trace.times
+    trace_u = np.ascontiguousarray(trace.points[:, 0])
+    trace_v = np.ascontiguousarray(trace.points[:, 1])
+    origin, u_axis, v_axis = plane.origin, plane.u_axis, plane.v_axis
+
+    def position_at(_serial: int, when) -> np.ndarray:
+        if isinstance(when, float):
+            u = np.interp(when, trace_times, trace_u)
+            v = np.interp(when, trace_times, trace_v)
+            return origin + float(u) * u_axis + float(v) * v_axis
         return plane.to_world(trace.position_at(when))
 
     # --- the RF world ----------------------------------------------------
@@ -428,6 +444,7 @@ def simulate_words(
     run_baseline: bool = True,
     max_workers: int | None = None,
     use_processes: bool = False,
+    batch_reconstruct: bool = False,
 ) -> list[SimulationRun]:
     """Simulate a batch of writing sessions through shared substrate.
 
@@ -448,6 +465,15 @@ def simulate_words(
             (worth it only when jobs are long and numerous — each
             worker re-imports the library and ships results back by
             pickle).
+        batch_reconstruct: run every job's RF-IDraw reconstruction
+            immediately through one merged engine block
+            (:func:`repro.core.pipeline.reconstruct_many`) instead of
+            leaving ``rfidraw_result`` lazy — bit-identical results,
+            the per-step solve shared across the whole batch. Figure
+            sweeps (fig11/fig14/fig15) enable this; leave it off when
+            only the raw logs are of interest. Batched reconstruction
+            always happens in the calling process, after any executor
+            fan-out of the simulations themselves.
 
     Returns:
         One :class:`SimulationRun` per job, in job order.
@@ -463,8 +489,20 @@ def simulate_words(
             else concurrent.futures.ThreadPoolExecutor
         )
         with pool_type(max_workers=max_workers) as pool:
-            return list(pool.map(body, normalized))
-    return [body(job) for job in normalized]
+            runs = list(pool.map(body, normalized))
+    else:
+        runs = [body(job) for job in normalized]
+    if batch_reconstruct and runs:
+        from repro.core.pipeline import reconstruct_many
+
+        reconstructions = reconstruct_many(
+            [(run.system, run.rfidraw_series) for run in runs]
+        )
+        for run, result in zip(runs, reconstructions):
+            # Prime the cached_property, so later `run.rfidraw_result`
+            # reads hit the batched result.
+            run.__dict__["rfidraw_result"] = result
+    return runs
 
 
 def _jitter_deployment(

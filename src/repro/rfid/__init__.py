@@ -8,7 +8,9 @@ subpackage simulates that hardware stack end to end:
 * :mod:`repro.rfid.epc` — EPC-96 (SGTIN-96) identity encode/decode.
 * :mod:`repro.rfid.tag` — a passive tag with a power-up threshold.
 * :mod:`repro.rfid.protocol` — slotted-ALOHA inventory rounds with the
-  Q-algorithm, producing timed singulations.
+  Q-algorithm, producing timed singulations (the executable spec).
+* :mod:`repro.rfid.engine` — the vectorized protocol engine: whole
+  rounds classified in one pass, bit-identical to the spec.
 * :mod:`repro.rfid.reader` — a 4-port reader cycling its antennas and
   emitting :class:`~repro.rfid.reader.PhaseReport` records.
 * :mod:`repro.rfid.sampling` — turns asynchronous per-antenna reports into
@@ -19,6 +21,7 @@ from repro.rfid.crc import crc5, crc16
 from repro.rfid.epc import Epc96
 from repro.rfid.tag import PassiveTag
 from repro.rfid.protocol import InventoryRound, QAlgorithm, SlotOutcome
+from repro.rfid.engine import ProtocolEngine
 from repro.rfid.reader import PhaseReport, Reader
 from repro.rfid.sampling import (
     MeasurementLog,
@@ -34,6 +37,7 @@ __all__ = [
     "Epc96",
     "PassiveTag",
     "InventoryRound",
+    "ProtocolEngine",
     "QAlgorithm",
     "SlotOutcome",
     "PhaseReport",

@@ -77,6 +77,38 @@ class QAlgorithm:
             self.q_float = max(self.minimum, self.q_float - self.step)
         # Successful slots leave q_float unchanged, per Annex D.
 
+    def record_run(self, outcome: SlotOutcome, count: int) -> None:
+        """Fold ``count`` consecutive identical outcomes into the state.
+
+        Bit-identical to calling :meth:`record` in a loop — each update
+        is a deterministic function of the current ``q_float`` alone —
+        but bounded work: once one application leaves ``q_float``
+        unchanged (the clamp saturated, or the step is too small to
+        register in float arithmetic) every further application is a
+        no-op and the remaining count is skipped. A frame of ``2^15``
+        empty slots therefore folds in at most ``⌈q/step⌉`` iterations
+        instead of 32768. ``tests/test_rfid_protocol.py`` property-tests
+        the equivalence over random outcome sequences.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if outcome is SlotOutcome.SUCCESS:
+            return
+        if outcome is SlotOutcome.COLLISION:
+            while count > 0:
+                nxt = min(self.maximum, self.q_float + self.step)
+                if nxt == self.q_float:
+                    return
+                self.q_float = nxt
+                count -= 1
+        else:
+            while count > 0:
+                nxt = max(self.minimum, self.q_float - self.step)
+                if nxt == self.q_float:
+                    return
+                self.q_float = nxt
+                count -= 1
+
 
 @dataclass
 class InventoryRound:

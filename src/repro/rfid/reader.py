@@ -27,6 +27,7 @@ from repro.geometry.antennas import Antenna
 from repro.rf.channel import BackscatterChannel
 from repro.rf.engine import ChannelBank
 from repro.rf.noise import PhaseNoiseModel
+from repro.rfid.engine import ProtocolEngine
 from repro.rfid.protocol import InventoryRound, QAlgorithm, SlotOutcome
 from repro.rfid.tag import PassiveTag
 
@@ -105,15 +106,21 @@ class Reader:
     ) -> list[PhaseReport]:
         """Run continuous inventory for ``duration`` seconds.
 
-        Vectorized measurement path: the Gen2 protocol still runs round
-        by round (slot outcomes feed the Q-algorithm and the clock), but
-        all channel synthesis is batched through a precomputed
-        :class:`~repro.rf.engine.ChannelBank` — one call per round for
-        tag powering, and one call per *dwell* for every report's phase
-        and RSSI. Noise is still drawn per report at the exact point
-        :meth:`inventory_reference` draws it, so both implementations
-        consume the RNG identically and produce matching logs for the
-        same seed (``tests/test_rfid_reader.py`` cross-checks this).
+        Vectorized measurement *and* protocol path. The Gen2 protocol
+        still advances round by round (slot outcomes feed the
+        Q-algorithm and the clock), but each round is classified in one
+        pass by a :class:`~repro.rfid.engine.ProtocolEngine` — only
+        successful singulations materialise — and all channel synthesis
+        is batched through a precomputed
+        :class:`~repro.rf.engine.ChannelBank`: per-round tag powering
+        reuses a cached power vector while no tag moved and the antenna
+        didn't change (the static-tag fast path), takes a scalar-shaped
+        kernel when a single tag moves, and falls back to one batched
+        call otherwise; phase and RSSI are synthesized once per *dwell*.
+        Protocol draws and per-report noise draws happen at the exact
+        RNG points :meth:`inventory_reference` consumes them, so both
+        implementations produce matching logs for the same seed
+        (``tests/test_rfid_reader.py`` cross-checks this).
 
         Args:
             tags: the tag population in the field.
@@ -134,12 +141,20 @@ class Reader:
             raise ValueError("duration must be positive")
 
         bank = self._channel_bank()
+        engine = ProtocolEngine(tags)
         epc_hex = {tag.epc.serial: tag.epc.to_hex() for tag in tags}
 
-        def locate(tag: PassiveTag, when: float) -> np.ndarray:
-            if position_at is None:
-                return tag.position
-            return np.asarray(position_at(tag.epc.serial, when), dtype=float)
+        # One preallocated positions buffer, refilled (moving tags) or
+        # filled once (static tags) instead of re-stacked every round.
+        positions = np.zeros((len(tags), 3))
+        static = position_at is None
+        if static:
+            for index, tag in enumerate(tags):
+                positions[index] = tag.position
+        # Static tags against an unchanged antenna see identical powers
+        # every round, so the kernel runs once per antenna, not per round.
+        static_powers: dict[int, np.ndarray] = {}
+        single_serial = tags[0].epc.serial if len(tags) == 1 else None
 
         reports: list[PhaseReport] = []
         q_algo = QAlgorithm(q_float=float(self.initial_q))
@@ -156,25 +171,35 @@ class Reader:
             pending: list[tuple[float, PassiveTag, float, float]] = []
             while clock < dwell_end:
                 # Powering: evaluated at the start of the round; tags move
-                # slowly relative to a ~10 ms round. One batched kernel
-                # call covers the whole population.
-                positions_now = np.stack(
-                    [locate(tag, clock) for tag in tags]
-                ) if tags else np.zeros((0, 3))
-                powers = np.atleast_1d(
-                    bank.tag_incident_power_dbm(
-                        positions_now, antenna_index=antenna_index
+                # slowly relative to a ~10 ms round.
+                if static:
+                    powers = static_powers.get(antenna_index)
+                    if powers is None:
+                        powers = np.atleast_1d(
+                            bank.tag_incident_power_dbm(
+                                positions, antenna_index=antenna_index
+                            )
+                        )
+                        static_powers[antenna_index] = powers
+                elif single_serial is not None:
+                    position = np.asarray(
+                        position_at(single_serial, clock), dtype=float
                     )
+                    powers = [
+                        bank.incident_power_dbm_one(position, antenna_index)
+                    ]
+                else:
+                    for index, tag in enumerate(tags):
+                        positions[index] = position_at(tag.epc.serial, clock)
+                    powers = np.atleast_1d(
+                        bank.tag_incident_power_dbm(
+                            positions, antenna_index=antenna_index
+                        )
+                    )
+                successes, clock = engine.run_round(
+                    powers, q_algo.q, rng, clock, q_algo
                 )
-                incident = {
-                    tag.epc.serial: float(power)
-                    for tag, power in zip(tags, powers)
-                }
-                round_ = InventoryRound(q_algo.q, rng)
-                slots, clock = round_.run(tags, incident, clock, q_algo)
-                for slot in slots:
-                    if slot.outcome is not SlotOutcome.SUCCESS or slot.tag is None:
-                        continue
+                for slot in successes:
                     reply_time = slot.time + slot.duration
                     if reply_time > dwell_end:
                         continue  # reply straddles the port switch; dropped

@@ -20,8 +20,10 @@ the manager by streaming the *file* lazily
 the offline test harness for the streaming stack and the migration path
 for existing recorded sessions. (The sessions themselves still
 accumulate per-antenna and per-step history for ``finalize()``, plus the
-raw reports unless constructed with ``retain_reports=False``, so memory
-grows with recording length even though the file is never slurped.)
+raw reports unless constructed with ``retain_reports=False``; a
+``retain_results`` cap makes each session release those buffers the
+moment it finalizes and sheds the oldest finalized sessions entirely,
+so even an unbounded replay holds bounded memory.)
 
 For always-on deployments the manager also bounds its own state: an
 ``idle_timeout`` auto-finalizes (``EVICTED`` + ``FINALIZED`` events) any
@@ -35,6 +37,7 @@ stragglers, like reports for an explicitly finalized one.
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -96,6 +99,24 @@ class SessionManager:
         max_sessions: optional hard cap on concurrently *open* sessions;
             when a new EPC would exceed it, the open session with the
             oldest last report is evicted first. ``None`` = unbounded.
+        retain_results: optional cap on *closed* session history.
+            ``None`` (default) keeps every session forever — fine for a
+            gesture, unbounded on a day-long stream. With a cap, each
+            session releases its resampler/trace/report buffers the
+            moment it finalizes (:meth:`TrackingSession.release`; its
+            result and points stay readable), and once more than
+            ``retain_results`` closed sessions accumulate the oldest
+            are shed from the manager entirely — ghost sessions whose
+            eviction finalize failed included, along with their
+            :attr:`failures`/:attr:`evicted_epcs` bookkeeping, so the
+            manager's state stays bounded no matter how many tags (or
+            noise EPCs) a stream carries. Shed results must have been
+            consumed through the ``FINALIZED`` event or the
+            :meth:`replay` return value (which taps that event);
+            :meth:`finalize_all` only covers sessions still held. A
+            shed tag that starts replying again begins a *fresh*
+            session (a new gesture) rather than counting as a
+            straggler.
         **session_kwargs: forwarded to the default factory.
 
     Attributes:
@@ -115,6 +136,7 @@ class SessionManager:
         session_factory: Callable[[str], TrackingSession] | None = None,
         idle_timeout: float | None = None,
         max_sessions: int | None = None,
+        retain_results: int | None = None,
         **session_kwargs,
     ) -> None:
         self.system = system
@@ -132,9 +154,16 @@ class SessionManager:
             raise ValueError("idle_timeout must be positive")
         if max_sessions is not None and max_sessions < 1:
             raise ValueError("max_sessions must allow at least one session")
+        if retain_results is not None and retain_results < 0:
+            raise ValueError("retain_results must be non-negative")
         self.session_factory = session_factory
         self.idle_timeout = idle_timeout
         self.max_sessions = max_sessions
+        self.retain_results = retain_results
+        # Closed EPCs (finalized, or ghost-evicted with a failed
+        # finalize) in close order — the shed queue when a
+        # retain_results cap is set.
+        self._closed_order: deque[str] = deque()
         self.sessions: dict[str, TrackingSession] = {}
         self.failures: dict[str, Exception] = {}
         self.stragglers = 0
@@ -254,6 +283,13 @@ class SessionManager:
             result = self.finalize(epc_hex)
         except Exception as error:
             self.failures[epc_hex] = error
+            if self.retain_results is not None:
+                # The ghost is closed for good (its reports will count
+                # as stragglers), so it joins the shed queue like a
+                # finalized session — one dead EPC per noise burst must
+                # not grow the manager forever.
+                self._closed_order.append(epc_hex)
+                self._shed_closed()
         event = SessionEvent(
             SessionEventType.EVICTED, epc_hex, session, result=result
         )
@@ -296,7 +332,9 @@ class SessionManager:
 
         A session whose earlier finalize failed (ghost EPC) may succeed
         once more reports arrive; success clears its stale
-        :attr:`failures` entry.
+        :attr:`failures` entry. With a ``retain_results`` cap, the
+        session's tracking buffers are released after the event fires
+        and the oldest finalized sessions beyond the cap are shed.
         """
         session = self.sessions[epc_hex]
         already = session.result is not None
@@ -310,7 +348,29 @@ class SessionManager:
                     SessionEventType.FINALIZED, epc_hex, session, result=result
                 ),
             )
+            if self.retain_results is not None:
+                session.release()
+                # Membership check (O(cap), the deque never exceeds it):
+                # a ghost that joined the queue at eviction and later
+                # finalizes for real must not occupy two slots.
+                if epc_hex not in self._closed_order:
+                    self._closed_order.append(epc_hex)
+                self._shed_closed()
         return result
+
+    def _shed_closed(self) -> None:
+        """Drop the oldest closed sessions beyond the retention cap."""
+        while len(self._closed_order) > self.retain_results:
+            epc = self._closed_order.popleft()
+            self.sessions.pop(epc, None)
+            self.last_report_time.pop(epc, None)
+            self.failures.pop(epc, None)
+            self._open.pop(epc, None)
+            self._closed.discard(epc)
+        # The eviction audit trail is bounded the same way: keep only
+        # as much history as the retention cap allows.
+        while len(self.evicted_epcs) > self.retain_results:
+            self.evicted_epcs.pop(0)
 
     def finalize_all(
         self, raise_errors: bool = False
@@ -323,9 +383,18 @@ class SessionManager:
         recorded in :attr:`failures` (keyed by EPC) and the remaining
         sessions still finalize. Pass ``raise_errors=True`` to propagate
         the first failure instead.
+
+        Under a ``retain_results`` cap only the sessions the manager
+        still holds are finalized and returned — results of sessions
+        shed earlier must have been consumed through their
+        ``FINALIZED`` events (or :meth:`replay`, which taps them).
+        Shedding mid-call cannot lose a result that was not already
+        delivered through its event.
         """
         results: dict[str, ReconstructionResult] = {}
-        for epc in self.sessions:
+        for epc in list(self.sessions):
+            if epc not in self.sessions:
+                continue  # shed by retain_results while finalizing others
             try:
                 results[epc] = self.finalize(epc)
             except Exception as error:
@@ -344,7 +413,9 @@ class SessionManager:
         constant memory for the file itself and bounded work per report.
         The per-tag sessions do retain tracking history (and, by
         default, the raw reports) until finalized; build them with
-        ``retain_reports=False`` to shed the largest share of that.
+        ``retain_reports=False`` to shed the largest share of that, and
+        with ``retain_results`` to bound the closed-session history on
+        long logs.
 
         Args:
             path: the JSONL phase log.
@@ -354,13 +425,33 @@ class SessionManager:
 
         Returns:
             ``{epc_hex: ReconstructionResult}`` (empty when
-            ``finalize=False``).
+            ``finalize=False``). Complete even under a
+            ``retain_results`` cap: sessions finalized mid-replay (an
+            eviction policy closing gestures as the log advances) are
+            captured through their ``FINALIZED`` events at the moment
+            they close, before shedding can drop them — only the
+            *sessions* are shed, the returned results are the caller's.
         """
         from repro.io.logs import iter_phase_log
 
-        for report in iter_phase_log(path):
-            self.ingest(report)
-        return self.finalize_all() if finalize else {}
+        collected: dict[str, ReconstructionResult] = {}
+        user_callback = self.on_session_finalized
+
+        def tap(event: SessionEvent) -> None:
+            if finalize and event.result is not None:
+                collected[event.epc_hex] = event.result
+            if user_callback is not None:
+                user_callback(event)
+
+        self.on_session_finalized = tap
+        try:
+            for report in iter_phase_log(path):
+                self.ingest(report)
+            if finalize:
+                collected.update(self.finalize_all())
+        finally:
+            self.on_session_finalized = user_callback
+        return collected if finalize else {}
 
     @staticmethod
     def _fire(

@@ -379,6 +379,26 @@ class TrackingSession:
         self.state = SessionState.FINALIZED
         return self.result
 
+    def release(self) -> None:
+        """Free the tracking buffers of a finalized session.
+
+        :attr:`result`, :attr:`points` and :attr:`candidates` stay
+        available; the resampler's per-antenna history, the engine's
+        incremental trace state and the retained raw reports exist only
+        to *compute* the result and are dropped. A long-lived
+        :class:`~repro.stream.manager.SessionManager` with a
+        ``retain_results`` cap calls this as sessions close so a
+        day-long stream's finalized tags stop holding per-report
+        memory. Idempotent; ingesting into a released session raises
+        exactly like any finalized session.
+        """
+        if self.state is not SessionState.FINALIZED:
+            raise ValueError("release() needs a finalized session")
+        self._reports = []
+        self._trace_state = None
+        self._running_votes = None
+        self.resampler = None
+
     def _finalize_fallback(self) -> ReconstructionResult:
         """Degenerate stream: defer to the batch builder over raw reports.
 

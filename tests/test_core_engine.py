@@ -560,3 +560,169 @@ class TestCandidatePruning:
             tracer.begin(pairs, delta0, starts, prune_margin=-1.0)
         with pytest.raises(ValueError, match="prune_burn_in"):
             tracer.begin(pairs, delta0, starts, prune_margin=1.0, prune_burn_in=0)
+
+
+class TestStepMany:
+    """Merged multi-trace stepping must equal independent stepping.
+
+    ``step_many`` stacks the active candidates of several words into one
+    solve block; row-separability means every state must record exactly
+    what its own ``step`` would have — bit for bit — even when the words
+    trace on different planes and end at different times.
+    """
+
+    def make_word(self, deployment, plane, wavelength, rng, steps, shift):
+        uv = word_like_uv(steps) + shift
+        times = np.linspace(0, 0.05 * steps, steps)
+        series = ideal_pair_series(deployment, plane, uv, times, wavelength)
+        for entry in series:
+            entry.delta_phi = entry.delta_phi + rng.normal(
+                0.0, 0.08, size=entry.delta_phi.shape
+            )
+        delta = np.stack([entry.delta_phi for entry in series])
+        starts = np.stack([uv[0], uv[0] + np.array([0.15, -0.1])])
+        return series, delta, starts
+
+    def _run_independent(self, tracer, pairs, delta, starts, **begin_kwargs):
+        state = tracer.begin(pairs, delta[:, 0], starts, **begin_kwargs)
+        for step in range(delta.shape[1]):
+            tracer.step(state, delta[:, step])
+        return tracer.finish(state)
+
+    def test_merged_equals_independent_across_planes(
+        self, deployment, wavelength, rng
+    ):
+        from repro.geometry.plane import writing_plane
+
+        planes = [writing_plane(2.0), writing_plane(2.0), writing_plane(3.1)]
+        words = [
+            self.make_word(
+                deployment, planes[i], wavelength, rng, steps, 0.05 * i
+            )
+            for i, steps in enumerate((40, 25, 33))
+        ]
+        tracers = [BatchedTracer(plane, wavelength) for plane in planes]
+
+        expected = [
+            self._run_independent(
+                tracers[i], [e.pair for e in words[i][0]], words[i][1],
+                words[i][2],
+            )
+            for i in range(len(words))
+        ]
+
+        states = [
+            tracers[i].begin(
+                [e.pair for e in words[i][0]], words[i][1][:, 0], words[i][2]
+            )
+            for i in range(len(words))
+        ]
+        lengths = [words[i][1].shape[1] for i in range(len(words))]
+        driver = tracers[0]
+        for step in range(max(lengths)):
+            batch = [
+                (states[i], words[i][1][:, step])
+                for i in range(len(words))
+                if step < lengths[i]
+            ]
+            returned = driver.step_many(batch)
+            assert len(returned) == len(batch)
+        merged = [tracers[i].finish(states[i]) for i in range(len(words))]
+
+        for exp_traces, got_traces in zip(expected, merged):
+            for exp, got in zip(exp_traces, got_traces):
+                assert np.array_equal(exp.positions, got.positions)
+                assert np.array_equal(exp.votes, got.votes)
+                assert np.array_equal(exp.residuals, got.residuals)
+                assert exp.locks == got.locks
+
+    def test_merged_preserves_pruning(self, deployment, plane, wavelength, rng):
+        uv = word_like_uv()
+        times = np.linspace(0, 3.5, uv.shape[0])
+        series = ideal_pair_series(deployment, plane, uv, times, wavelength)
+        for entry in series:
+            entry.delta_phi = entry.delta_phi + rng.normal(
+                0.0, 0.08, size=entry.delta_phi.shape
+            )
+        delta = np.stack([entry.delta_phi for entry in series])
+        starts = np.stack(
+            [
+                uv[0],
+                uv[0] + np.array([0.18, -0.12]),
+                uv[0] + np.array([-0.21, 0.16]),
+                uv[0] + 0.2,
+            ]
+        )
+        tracer = BatchedTracer(plane, wavelength)
+        pairs = [entry.pair for entry in series]
+
+        expected = self._run_independent(
+            tracer, pairs, delta, starts, prune_margin=0.5, prune_burn_in=4
+        )
+        pruned_state = tracer.begin(
+            pairs, delta[:, 0], starts, prune_margin=0.5, prune_burn_in=4
+        )
+        other_state = tracer.begin(pairs, delta[:, 0], starts)
+        for step in range(delta.shape[1]):
+            tracer.step_many(
+                [
+                    (pruned_state, delta[:, step]),
+                    (other_state, delta[:, step]),
+                ]
+            )
+        assert pruned_state.pruned_at, "margin should drop the far candidate"
+        merged = tracer.finish(pruned_state)
+        for exp, got in zip(expected, merged):
+            assert np.array_equal(exp.positions, got.positions)
+            assert np.array_equal(exp.votes, got.votes)
+
+    def test_single_item_delegates_to_step(
+        self, deployment, plane, wavelength, rng
+    ):
+        series, delta, starts = self.make_word(
+            deployment, plane, wavelength, rng, 10, 0.0
+        )
+        tracer = BatchedTracer(plane, wavelength)
+        pairs = [entry.pair for entry in series]
+        via_step = tracer.begin(pairs, delta[:, 0], starts)
+        via_many = tracer.begin(pairs, delta[:, 0], starts)
+        for step in range(delta.shape[1]):
+            expected = tracer.step(via_step, delta[:, step])
+            (got,) = tracer.step_many([(via_many, delta[:, step])])
+            assert np.array_equal(expected[0], got[0])
+            assert np.array_equal(expected[1], got[1])
+
+    def test_empty_batch_is_noop(self, plane, wavelength):
+        assert BatchedTracer(plane, wavelength).step_many([]) == []
+
+    def test_mismatched_geometry_rejected(
+        self, deployment, plane, wavelength, rng
+    ):
+        series, delta, starts = self.make_word(
+            deployment, plane, wavelength, rng, 8, 0.0
+        )
+        pairs = [entry.pair for entry in series]
+        tracer = BatchedTracer(plane, wavelength)
+        state_a = tracer.begin(pairs, delta[:, 0], starts)
+        # A different round-trip scale must not silently share a block.
+        other = BatchedTracer(plane, wavelength, round_trip=1.0)
+        state_b = other.begin(pairs, delta[:, 0], starts)
+        with pytest.raises(ValueError, match="identical antenna/pair"):
+            tracer.step_many(
+                [(state_a, delta[:, 0]), (state_b, delta[:, 0])]
+            )
+
+    def test_width_validated_per_item(
+        self, deployment, plane, wavelength, rng
+    ):
+        series, delta, starts = self.make_word(
+            deployment, plane, wavelength, rng, 8, 0.0
+        )
+        pairs = [entry.pair for entry in series]
+        tracer = BatchedTracer(plane, wavelength)
+        state_a = tracer.begin(pairs, delta[:, 0], starts)
+        state_b = tracer.begin(pairs, delta[:, 0], starts)
+        with pytest.raises(ValueError, match="one Δφ per pair"):
+            tracer.step_many(
+                [(state_a, delta[:, 0]), (state_b, np.zeros(3))]
+            )

@@ -244,6 +244,80 @@ class TestVectorizedMatchesReference:
         expected = np.stack([coords_first(4, float(t)) for t in times])
         np.testing.assert_array_equal(got, expected)
 
+    def test_static_fast_path_long_inventory(self, deployment, wavelength):
+        """Static tags: the cached-powers path across many antenna cycles.
+
+        A long inventory revisits every antenna many times, so the
+        powering kernel runs once per antenna while the reference
+        recomputes it per round — the logs must still match exactly.
+        """
+        tags = [
+            PassiveTag(
+                Epc96.with_serial(s),
+                np.array([0.8 + 0.4 * s, 2.2, 1.0]),
+                modulation_phase=0.2 * s,
+            )
+            for s in (1, 2)
+        ]
+        fast = self._multipath_reader(deployment, wavelength).inventory(
+            tags, 2.5, np.random.default_rng(17)
+        )
+        slow = self._multipath_reader(
+            deployment, wavelength
+        ).inventory_reference(tags, 2.5, np.random.default_rng(17))
+        self._assert_logs_match(fast, slow)
+
+    def test_static_mix_includes_out_of_range_tag(self, deployment, wavelength):
+        """An unpowered tag in the population must stay silent identically."""
+        tags = [
+            PassiveTag(Epc96.with_serial(1), np.array([1.0, 2.0, 1.0])),
+            PassiveTag(Epc96.with_serial(2), np.array([0.0, 40.0, 1.0])),
+        ]
+        fast = self._multipath_reader(deployment, wavelength).inventory(
+            tags, 1.0, np.random.default_rng(23)
+        )
+        slow = self._multipath_reader(
+            deployment, wavelength
+        ).inventory_reference(tags, 1.0, np.random.default_rng(23))
+        self._assert_logs_match(fast, slow)
+        assert {report.epc_hex for report in fast} == {tags[0].epc.to_hex()}
+
+    def test_single_moving_tag_crossing_wakeup_threshold(
+        self, deployment, wavelength
+    ):
+        """The scalar power path must agree on wake-up decisions.
+
+        The tag walks out of range mid-inventory, so the powered/silent
+        transition (and with it every subsequent RNG draw) depends on
+        the per-round power values the scalar kernel produces.
+        """
+        tag = PassiveTag(Epc96.with_serial(8), np.array([1.0, 2.0, 1.0]))
+
+        def position_at(serial, when):
+            when = np.asarray(when, dtype=float)
+            y = 2.0 + 6.0 * when  # ~5 m/s walk-away: leaves range mid-run
+            if when.ndim == 0:
+                return np.array([1.0, float(y), 1.0])
+            block = np.empty((when.shape[0], 3))
+            block[:, 0] = 1.0
+            block[:, 1] = y
+            block[:, 2] = 1.0
+            return block
+
+        fast = self._multipath_reader(deployment, wavelength).inventory(
+            [tag], 2.0, np.random.default_rng(31), position_at=position_at
+        )
+        slow = self._multipath_reader(
+            deployment, wavelength
+        ).inventory_reference(
+            [tag], 2.0, np.random.default_rng(31), position_at=position_at
+        )
+        self._assert_logs_match(fast, slow)
+        # The walk-away must actually exercise the transition: reads
+        # exist early and stop well before the inventory ends.
+        assert fast
+        assert fast[-1].time < 1.5
+
     def test_noiseless_logs_bit_identical(self, deployment, free_channel):
         reader_args = dict(lo_offset=0.3, dwell_time=0.05)
         tag = PassiveTag(

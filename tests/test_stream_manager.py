@@ -410,3 +410,179 @@ class TestIdleClockMonotonicity:
         # Past 1.00 + timeout it genuinely idled out.
         manager.ingest(PhaseReport(1.55, other, 1, 3, 1.0, -60.0))
         assert manager.evicted_epcs == [tag]
+
+
+class TestRetainResults:
+    def test_finalized_sessions_release_buffers(self, two_tag_world):
+        system, _deployment, log, tags = two_tag_world
+        manager = SessionManager(system, candidate_count=2, retain_results=8)
+        manager.extend(log.reports)
+        results = manager.finalize_all()
+        assert len(results) == 2
+        for tag in tags:
+            session = manager.sessions[tag.epc.to_hex()]
+            # Result and points survive; tracking buffers are gone.
+            assert session.result is not None
+            assert session.points
+            assert session.resampler is None
+            assert session._trace_state is None
+            assert session._reports == []
+
+    def test_results_match_uncapped_manager(self, two_tag_world):
+        system, _deployment, log, _tags = two_tag_world
+        capped = SessionManager(system, candidate_count=2, retain_results=8)
+        plain = SessionManager(system, candidate_count=2)
+        capped.extend(log.reports)
+        plain.extend(log.reports)
+        capped_results = capped.finalize_all()
+        plain_results = plain.finalize_all()
+        assert capped_results.keys() == plain_results.keys()
+        for epc, expected in plain_results.items():
+            assert np.array_equal(
+                capped_results[epc].trajectory, expected.trajectory
+            )
+
+    def test_oldest_finalized_sessions_shed(self, two_tag_world):
+        system, _deployment, log, tags = two_tag_world
+        manager = SessionManager(system, candidate_count=2, retain_results=1)
+        manager.extend(log.reports)
+        epcs = [tag.epc.to_hex() for tag in tags]
+        first = manager.finalize(epcs[0])
+        assert first is not None
+        assert epcs[0] in manager.sessions
+        manager.finalize(epcs[1])  # pushes the first past the cap
+        assert epcs[0] not in manager.sessions
+        assert epcs[0] not in manager.last_report_time
+        assert epcs[1] in manager.sessions
+
+    def test_shed_tag_returning_starts_fresh_session(self, two_tag_world):
+        system, _deployment, log, tags = two_tag_world
+        manager = SessionManager(system, candidate_count=2, retain_results=0)
+        manager.extend(log.reports)
+        manager.finalize_all()  # every session finalized then shed
+        assert len(manager.sessions) == 0
+        started = []
+        manager.on_session_started = lambda event: started.append(event.epc_hex)
+        events = manager.ingest(log.reports[0])
+        # Not a straggler: the shed tag begins a new gesture.
+        assert manager.stragglers == 0
+        assert started == [log.reports[0].epc_hex]
+        assert events == [] or all(
+            event.type is not SessionEventType.EVICTED for event in events
+        )
+
+    def test_eviction_combines_with_retention(self, two_tag_world):
+        system, _deployment, log, _tags = two_tag_world
+        manager = SessionManager(
+            system,
+            candidate_count=2,
+            idle_timeout=0.5,
+            retain_results=1,
+        )
+        finalized = []
+        manager.on_session_finalized = (
+            lambda event: finalized.append(event.epc_hex)
+        )
+        manager.extend(log.reports)
+        manager.finalize_all()
+        assert len(finalized) == 2
+        # At most the cap's worth of finalized history is retained.
+        closed_held = [
+            epc
+            for epc, session in manager.sessions.items()
+            if session.result is not None
+        ]
+        assert len(closed_held) <= 1
+
+    def test_negative_cap_rejected(self, two_tag_world):
+        system, *_ = two_tag_world
+        with pytest.raises(ValueError, match="retain_results"):
+            SessionManager(system, retain_results=-1)
+
+    def test_release_requires_finalized(self, two_tag_world):
+        system, *_ = two_tag_world
+        session = TrackingSession(system, candidate_count=2)
+        with pytest.raises(ValueError, match="finalized"):
+            session.release()
+
+
+class TestRetainResultsBoundedState:
+    def test_ghost_eviction_is_shed_too(self, two_tag_world):
+        """A ghost whose eviction finalize fails must not pin memory.
+
+        With retain_results=0 every closed session — failed ghosts
+        included — is shed, along with its failures/evicted_epcs
+        bookkeeping, so noise EPCs cannot grow the manager forever.
+        """
+        from repro.rfid.reader import PhaseReport
+
+        system, _deployment, log, _tags = two_tag_world
+        manager = SessionManager(
+            system, idle_timeout=0.3, candidate_count=2, retain_results=0
+        )
+        ghost = "DEADBEEF" * 3
+        manager.ingest(PhaseReport(0.05, ghost, 1, 1, 1.0, -70.0))
+        # Advancing the frontier evicts the silent ghost; its finalize
+        # fails (never warmed), and the shed queue drops it entirely.
+        manager.extend([r for r in log.reports if r.time >= 0.05])
+        assert ghost not in manager.sessions
+        assert ghost not in manager.failures
+        assert ghost not in manager.last_report_time
+        assert manager.evicted_epcs == []
+
+    def test_replay_returns_results_shed_mid_replay(
+        self, two_tag_world, tmp_path
+    ):
+        """replay() must deliver every gesture's result even when the
+        eviction policy + retention cap shed the sessions mid-log."""
+        from dataclasses import replace
+
+        system, _deployment, log, tags = two_tag_world
+        # One tag keeps reporting for an extra second while the other
+        # goes silent, so the silent one is evicted (and, under the
+        # cap, shed) while the replay is still running.
+        survivor = tags[0].epc.to_hex()
+        extended = MeasurementLog(
+            list(log.reports)
+            + [
+                replace(report, time=report.time + 1.0)
+                for report in log.reports
+                if report.epc_hex == survivor
+            ]
+        )
+        path = tmp_path / "log.jsonl"
+        save_phase_log(extended, path)
+
+        plain = SessionManager(system, candidate_count=2)
+        expected = plain.replay(path)
+
+        capped = SessionManager(
+            system,
+            candidate_count=2,
+            idle_timeout=0.4,
+            retain_results=0,
+        )
+        results = capped.replay(path)
+        # The silent tag really was evicted and shed mid-replay…
+        assert tags[1].epc.to_hex() not in capped.sessions
+        # …yet its result still comes back, identical to the uncapped
+        # replay (its reports had all arrived before the eviction).
+        assert set(results) == set(expected)
+        assert np.array_equal(
+            results[tags[1].epc.to_hex()].trajectory,
+            expected[tags[1].epc.to_hex()].trajectory,
+        )
+        # Every session was shed — only the results survive.
+        assert len(capped.sessions) == 0
+
+    def test_replay_tap_restores_user_callback(self, two_tag_world, tmp_path):
+        system, _deployment, log, _tags = two_tag_world
+        path = tmp_path / "log.jsonl"
+        save_phase_log(log, path)
+        manager = SessionManager(system, candidate_count=2, retain_results=1)
+        seen = []
+        manager.on_session_finalized = lambda event: seen.append(event.epc_hex)
+        user_callback = manager.on_session_finalized
+        manager.replay(path)
+        assert manager.on_session_finalized is user_callback
+        assert len(seen) == 2  # the user's callback still fired
