@@ -11,6 +11,7 @@ interchange formats:
 """
 
 from repro.io.logs import (
+    LogReadStats,
     iter_phase_log,
     load_phase_log,
     load_trajectory,
@@ -19,6 +20,7 @@ from repro.io.logs import (
 )
 
 __all__ = [
+    "LogReadStats",
     "iter_phase_log",
     "load_phase_log",
     "load_trajectory",

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import csv
 import json
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -12,6 +13,7 @@ from repro.rfid.reader import PhaseReport
 from repro.rfid.sampling import MeasurementLog
 
 __all__ = [
+    "LogReadStats",
     "save_phase_log",
     "iter_phase_log",
     "load_phase_log",
@@ -23,30 +25,66 @@ _REPORT_FIELDS = ("time", "epc_hex", "reader_id", "antenna_id", "phase",
                   "rssi_dbm")
 
 
-def save_phase_log(log: MeasurementLog, path) -> int:
-    """Write a measurement log as JSON Lines; returns the record count.
+@dataclass
+class LogReadStats:
+    """Mutable tally a non-strict :func:`iter_phase_log` reports into.
+
+    Generators cannot return a count mid-iteration, so the caller hands
+    in this object and reads :attr:`skipped_lines` as the iteration
+    progresses (or after it finishes).
+    """
+
+    skipped_lines: int = 0
+
+
+def save_phase_log(log, path) -> int:
+    """Write phase reports as JSON Lines; returns the record count.
+
+    Accepts a :class:`MeasurementLog` or any iterable of
+    :class:`~repro.rfid.reader.PhaseReport` — the iterable form
+    preserves the given *stream order*, which is what the fault testbed
+    needs to record reordered/stale-replay arrival sequences (a
+    ``MeasurementLog`` would re-sort them by timestamp).
 
     Each line is one reader report::
 
         {"time": 0.0132, "epc_hex": "30…", "reader_id": 1,
          "antenna_id": 3, "phase": 4.2031, "rssi_dbm": -57.2}
+
+    Non-finite phases serialize as JSON ``NaN``/``Infinity`` literals
+    (the :mod:`json` default), which :func:`iter_phase_log` reads back.
     """
+    reports = log.reports if isinstance(log, MeasurementLog) else list(log)
     path = Path(path)
     with path.open("w", encoding="utf-8") as handle:
-        for report in log.reports:
+        for report in reports:
             record = {field: getattr(report, field) for field in _REPORT_FIELDS}
             handle.write(json.dumps(record) + "\n")
-    return len(log.reports)
+    return len(reports)
 
 
-def iter_phase_log(path):
+def iter_phase_log(path, strict: bool = True, stats: LogReadStats | None = None):
     """Yield the reports of a JSONL phase log, one line at a time.
 
     This is the streaming entry point (what
     :meth:`repro.stream.manager.SessionManager.replay` drives): the file
     is read lazily, so an arbitrarily long recording replays in bounded
-    memory. Blank lines are skipped; a malformed line raises
-    :class:`ValueError` naming the file and line.
+    memory. Blank lines are always skipped.
+
+    Args:
+        path: the JSONL phase log.
+        strict: with the default ``True``, a malformed line raises
+            :class:`ValueError` naming the file and line. With
+            ``strict=False`` a malformed or truncated line (bad JSON,
+            missing fields, wrong types — e.g. the torn final line of a
+            recording whose writer crashed mid-flush) is *skipped and
+            counted* instead of killing the replay mid-stream.
+        stats: optional :class:`LogReadStats` receiving the skip count
+            in non-strict mode.
+
+    A report whose phase is non-finite (NaN/±inf) is not malformed — it
+    is data a flaky reader really emitted; it flows through so the
+    streaming stack's drop policy can count and discard it downstream.
     """
     path = Path(path)
     with path.open("r", encoding="utf-8") as handle:
@@ -56,7 +94,7 @@ def iter_phase_log(path):
                 continue
             try:
                 record = json.loads(line)
-                yield PhaseReport(
+                report = PhaseReport(
                     time=float(record["time"]),
                     epc_hex=str(record["epc_hex"]),
                     reader_id=int(record["reader_id"]),
@@ -64,15 +102,22 @@ def iter_phase_log(path):
                     phase=float(record["phase"]),
                     rssi_dbm=float(record["rssi_dbm"]),
                 )
-            except (KeyError, ValueError, json.JSONDecodeError) as error:
-                raise ValueError(
-                    f"{path}:{line_number}: malformed phase record: {error}"
-                ) from error
+            except (KeyError, TypeError, ValueError, json.JSONDecodeError) as error:
+                if strict:
+                    raise ValueError(
+                        f"{path}:{line_number}: malformed phase record: {error}"
+                    ) from error
+                if stats is not None:
+                    stats.skipped_lines += 1
+                continue
+            yield report
 
 
-def load_phase_log(path) -> MeasurementLog:
+def load_phase_log(
+    path, strict: bool = True, stats: LogReadStats | None = None
+) -> MeasurementLog:
     """Read a whole JSONL phase log into a :class:`MeasurementLog`."""
-    return MeasurementLog(list(iter_phase_log(path)))
+    return MeasurementLog(list(iter_phase_log(path, strict=strict, stats=stats)))
 
 
 def save_trajectory(times: np.ndarray, points: np.ndarray, path) -> None:

@@ -39,7 +39,14 @@ PositionsAt = Callable[[int, float], np.ndarray]
 
 @dataclass(frozen=True)
 class PhaseReport:
-    """One successful tag read, as a commercial reader reports it."""
+    """One successful tag read, as a commercial reader reports it.
+
+    A *finite* phase must be a wrapped value in [0, 2π) — anything else
+    is a unit bug. A non-finite phase (NaN/±inf) is allowed to exist as
+    data: flaky readers emit such garbage, recorded logs and the fault
+    testbed carry it, and the streaming stack's ``out_of_order="drop"``
+    policy counts and discards it instead of crashing mid-stream.
+    """
 
     time: float
     epc_hex: str
@@ -49,7 +56,7 @@ class PhaseReport:
     rssi_dbm: float
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.phase < 2.0 * np.pi + 1e-12:
+        if np.isfinite(self.phase) and not 0.0 <= self.phase < 2.0 * np.pi + 1e-12:
             raise ValueError(f"phase must be reported in [0, 2π), got {self.phase}")
 
 

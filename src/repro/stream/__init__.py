@@ -26,12 +26,20 @@ this subsystem (feed everything, finalize), so streaming and batch can
 never drift apart.
 """
 
-from repro.stream.manager import SessionEvent, SessionEventType, SessionManager
+from repro.stream.manager import (
+    ManagerStats,
+    ReplayResult,
+    SessionEvent,
+    SessionEventType,
+    SessionManager,
+)
 from repro.stream.resampler import PairSample, StreamResampler
 from repro.stream.session import SessionState, TrackingSession, TrajectoryPoint
 
 __all__ = [
+    "ManagerStats",
     "PairSample",
+    "ReplayResult",
     "SessionEvent",
     "SessionEventType",
     "SessionManager",

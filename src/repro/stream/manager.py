@@ -36,16 +36,23 @@ stragglers, like reports for an explicitly finalized one.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.core.pipeline import ReconstructionResult, RFIDrawSystem
 from repro.rfid.reader import PhaseReport
 from repro.stream.session import TrackingSession, TrajectoryPoint
 
-__all__ = ["SessionEventType", "SessionEvent", "SessionManager"]
+__all__ = [
+    "ManagerStats",
+    "ReplayResult",
+    "SessionEventType",
+    "SessionEvent",
+    "SessionManager",
+]
 
 
 class SessionEventType(enum.Enum):
@@ -76,6 +83,72 @@ class SessionEvent:
     session: TrackingSession
     point: TrajectoryPoint | None = None
     result: ReconstructionResult | None = None
+
+
+@dataclass(frozen=True)
+class ManagerStats:
+    """One structured snapshot of a manager's health counters.
+
+    Until this existed the counters lived in scattered attributes
+    (``stragglers`` here, ``dropped_reports`` per session's resampler,
+    skip counts nowhere) — :meth:`SessionManager.stats` gathers them so
+    monitoring, the replay driver and the fault testbed read one value.
+
+    Counter totals include sessions already shed under a
+    ``retain_results`` cap (the manager accumulates their tallies before
+    dropping them), so a bounded manager still reports unbounded-stream
+    truth.
+
+    Attributes:
+        open_sessions: sessions still ingesting.
+        finalized_sessions: sessions closed with a result (shed included).
+        failed_sessions: sessions whose finalize failed (ghost EPCs).
+        evicted_sessions: sessions closed by the eviction policy, ever
+            (unlike ``evicted_epcs``, never truncated by the cap).
+        shed_sessions: closed sessions dropped under ``retain_results``.
+        stragglers: reports for already-closed tags, dropped.
+        ingested_reports: every report handed to :meth:`ingest`.
+        dropped_reports: reports the resamplers discarded under the
+            ``"drop"`` policy (stale arrivals + non-finite phases).
+        dropped_nonfinite: the non-finite subset of ``dropped_reports``.
+        skipped_foreign_reports: reports EPC-filtered by pinned sessions.
+        skipped_log_lines: malformed JSONL lines skipped by
+            non-strict :meth:`replay` calls.
+        injected: external fault counters attached via
+            :meth:`SessionManager.note_injected` (the testbed's
+            fault-injection tallies); empty for live streams.
+    """
+
+    open_sessions: int
+    finalized_sessions: int
+    failed_sessions: int
+    evicted_sessions: int
+    shed_sessions: int
+    stragglers: int
+    ingested_reports: int
+    dropped_reports: int
+    dropped_nonfinite: int
+    skipped_foreign_reports: int
+    skipped_log_lines: int
+    injected: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (JSON-ready, e.g. for score tables)."""
+        return dataclasses.asdict(self)
+
+
+class ReplayResult(dict):
+    """:meth:`SessionManager.replay`'s return value.
+
+    Still the plain ``{epc_hex: ReconstructionResult}`` mapping it
+    always was (every existing caller keeps working), plus the
+    end-of-replay :class:`ManagerStats` snapshot as :attr:`stats` — so
+    a replay reports how dirty its log was alongside what it answered.
+    """
+
+    def __init__(self, results: dict, stats: ManagerStats) -> None:
+        super().__init__(results)
+        self.stats = stats
 
 
 class SessionManager:
@@ -167,8 +240,19 @@ class SessionManager:
         self.sessions: dict[str, TrackingSession] = {}
         self.failures: dict[str, Exception] = {}
         self.stragglers = 0
+        self.ingested_reports = 0
+        self.skipped_log_lines = 0
+        self.injected_counters: dict[str, int] = {}
         self.last_report_time: dict[str, float] = {}
         self.evicted_epcs: list[str] = []
+        self.evicted_count = 0
+        # Accumulated tallies of sessions shed under retain_results, so
+        # stats() stays truthful after their sessions are gone.
+        self._shed_finalized = 0
+        self._shed_failed = 0
+        self._shed_dropped = 0
+        self._shed_nonfinite = 0
+        self._shed_foreign = 0
         self._closed: set[str] = set()
         # Insertion-ordered registry of sessions believed open, purged
         # lazily — the per-report idle sweep walks this, not the full
@@ -217,6 +301,7 @@ class SessionManager:
         report's own ``POINT`` events.
         """
         events: list[SessionEvent] = []
+        self.ingested_reports += 1
         if self.idle_timeout is not None and report.time > self._frontier:
             # Only an advancing frontier can make a session newly stale,
             # so the sweep is skipped for same-or-older timestamps.
@@ -278,6 +363,7 @@ class SessionManager:
         self._closed.add(epc_hex)
         self._open.pop(epc_hex, None)
         self.evicted_epcs.append(epc_hex)
+        self.evicted_count += 1
         result = None
         try:
             result = self.finalize(epc_hex)
@@ -362,7 +448,17 @@ class SessionManager:
         """Drop the oldest closed sessions beyond the retention cap."""
         while len(self._closed_order) > self.retain_results:
             epc = self._closed_order.popleft()
-            self.sessions.pop(epc, None)
+            session = self.sessions.pop(epc, None)
+            if session is not None:
+                # Fold the shed session's tallies into the accumulated
+                # totals so stats() keeps reporting the whole stream.
+                if session.result is not None:
+                    self._shed_finalized += 1
+                self._shed_dropped += session.dropped_reports
+                self._shed_nonfinite += session.dropped_nonfinite
+                self._shed_foreign += session.skipped_foreign_reports
+            if epc in self.failures:
+                self._shed_failed += 1
             self.last_report_time.pop(epc, None)
             self.failures.pop(epc, None)
             self._open.pop(epc, None)
@@ -371,6 +467,56 @@ class SessionManager:
         # as much history as the retention cap allows.
         while len(self.evicted_epcs) > self.retain_results:
             self.evicted_epcs.pop(0)
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def note_injected(self, counters: dict[str, int]) -> None:
+        """Attach external fault-injection counters to :meth:`stats`.
+
+        The fault layer perturbs the stream *before* the manager sees
+        it, so the manager cannot count injections itself; the testbed
+        runner records the injector tallies here so one snapshot carries
+        both what was injected and how the stack absorbed it. Repeated
+        calls accumulate per key.
+        """
+        for key, value in counters.items():
+            self.injected_counters[key] = (
+                self.injected_counters.get(key, 0) + int(value)
+            )
+
+    def stats(self) -> ManagerStats:
+        """The current :class:`ManagerStats` snapshot."""
+        finalized = self._shed_finalized
+        dropped = self._shed_dropped
+        nonfinite = self._shed_nonfinite
+        foreign = self._shed_foreign
+        open_sessions = 0
+        for epc, session in self.sessions.items():
+            if session.result is not None:
+                finalized += 1
+            elif epc not in self._closed and epc not in self.failures:
+                # Still ingesting. Closed-but-resultless sessions (a
+                # ghost whose finalize failed) are counted by
+                # failed_sessions, not here.
+                open_sessions += 1
+            dropped += session.dropped_reports
+            nonfinite += session.dropped_nonfinite
+            foreign += session.skipped_foreign_reports
+        return ManagerStats(
+            open_sessions=open_sessions,
+            finalized_sessions=finalized,
+            failed_sessions=len(self.failures) + self._shed_failed,
+            evicted_sessions=self.evicted_count,
+            shed_sessions=self._shed_finalized + self._shed_failed,
+            stragglers=self.stragglers,
+            ingested_reports=self.ingested_reports,
+            dropped_reports=dropped,
+            dropped_nonfinite=nonfinite,
+            skipped_foreign_reports=foreign,
+            skipped_log_lines=self.skipped_log_lines,
+            injected=dict(self.injected_counters),
+        )
 
     def finalize_all(
         self, raise_errors: bool = False
@@ -405,8 +551,8 @@ class SessionManager:
 
     # ------------------------------------------------------------------
     def replay(
-        self, path, finalize: bool = True
-    ) -> dict[str, ReconstructionResult]:
+        self, path, finalize: bool = True, strict: bool = True
+    ) -> ReplayResult:
         """Stream a recorded JSONL phase log through the manager.
 
         Reads the log lazily (:func:`repro.io.logs.iter_phase_log`) —
@@ -422,20 +568,29 @@ class SessionManager:
             finalize: finalize every session at end-of-log and return
                 the results; pass ``False`` to keep sessions open (e.g.
                 to replay several log segments back to back).
+            strict: raise on a malformed log line (default). With
+                ``strict=False`` malformed/truncated lines are skipped
+                and counted into the stats snapshot's
+                ``skipped_log_lines`` — a half-written recording from a
+                crashed capture replays what it can.
 
         Returns:
-            ``{epc_hex: ReconstructionResult}`` (empty when
-            ``finalize=False``). Complete even under a
-            ``retain_results`` cap: sessions finalized mid-replay (an
-            eviction policy closing gestures as the log advances) are
-            captured through their ``FINALIZED`` events at the moment
-            they close, before shedding can drop them — only the
-            *sessions* are shed, the returned results are the caller's.
+            A :class:`ReplayResult`: the ``{epc_hex:
+            ReconstructionResult}`` mapping (empty when
+            ``finalize=False``) with the end-of-replay
+            :class:`ManagerStats` snapshot attached as ``.stats``.
+            Complete even under a ``retain_results`` cap: sessions
+            finalized mid-replay (an eviction policy closing gestures
+            as the log advances) are captured through their
+            ``FINALIZED`` events at the moment they close, before
+            shedding can drop them — only the *sessions* are shed, the
+            returned results are the caller's.
         """
-        from repro.io.logs import iter_phase_log
+        from repro.io.logs import LogReadStats, iter_phase_log
 
         collected: dict[str, ReconstructionResult] = {}
         user_callback = self.on_session_finalized
+        read_stats = LogReadStats()
 
         def tap(event: SessionEvent) -> None:
             if finalize and event.result is not None:
@@ -445,13 +600,14 @@ class SessionManager:
 
         self.on_session_finalized = tap
         try:
-            for report in iter_phase_log(path):
+            for report in iter_phase_log(path, strict=strict, stats=read_stats):
                 self.ingest(report)
             if finalize:
                 collected.update(self.finalize_all())
         finally:
             self.on_session_finalized = user_callback
-        return collected if finalize else {}
+            self.skipped_log_lines += read_stats.skipped_lines
+        return ReplayResult(collected if finalize else {}, self.stats())
 
     @staticmethod
     def _fire(

@@ -162,9 +162,18 @@ class StreamResampler:
         self._last_times: dict[int, float] = {}
         self._start: float | None = None
         self._next_index = 0
+        #: Total reports discarded under the ``"drop"`` policy
+        #: (out-of-order arrivals plus non-finite phases).
         self.dropped_reports = 0
+        #: The non-finite subset of :attr:`dropped_reports`.
+        self.dropped_nonfinite = 0
 
     # ------------------------------------------------------------------
+    @property
+    def dropped_out_of_order(self) -> int:
+        """The stale-arrival subset of :attr:`dropped_reports`."""
+        return self.dropped_reports - self.dropped_nonfinite
+
     @property
     def started(self) -> bool:
         """True once the timeline origin is fixed and emission may begin."""
@@ -197,6 +206,7 @@ class StreamResampler:
         if not math.isfinite(report.phase):
             if self.out_of_order == "drop":
                 self.dropped_reports += 1
+                self.dropped_nonfinite += 1
                 return []
             raise ValueError(
                 f"non-finite phase sample from antenna {report.antenna_id} "

@@ -167,6 +167,9 @@ class TrackingSession:
         self.points: list[TrajectoryPoint] = []
         self.result: ReconstructionResult | None = None
         self.report_count = 0
+        # Resampler drop counters, stashed at release() so the stats a
+        # SessionManager aggregates survive the buffers being freed.
+        self._released_drop_counts: tuple[int, int] = (0, 0)
         self._reports: list[PhaseReport] = []
         self._trace_state: TraceState | None = None
         self._running_votes: np.ndarray | None = None
@@ -183,6 +186,23 @@ class TrackingSession:
     @property
     def point_count(self) -> int:
         return len(self.points)
+
+    @property
+    def dropped_reports(self) -> int:
+        """Reports the resampler discarded (``"drop"`` policy), total.
+
+        Still readable after :meth:`release` freed the resampler.
+        """
+        if self.resampler is not None:
+            return self.resampler.dropped_reports
+        return self._released_drop_counts[0]
+
+    @property
+    def dropped_nonfinite(self) -> int:
+        """The non-finite-phase subset of :attr:`dropped_reports`."""
+        if self.resampler is not None:
+            return self.resampler.dropped_nonfinite
+        return self._released_drop_counts[1]
 
     def latest_point(self) -> TrajectoryPoint | None:
         return self.points[-1] if self.points else None
@@ -394,6 +414,11 @@ class TrackingSession:
         """
         if self.state is not SessionState.FINALIZED:
             raise ValueError("release() needs a finalized session")
+        if self.resampler is not None:
+            self._released_drop_counts = (
+                self.resampler.dropped_reports,
+                self.resampler.dropped_nonfinite,
+            )
         self._reports = []
         self._trace_state = None
         self._running_votes = None

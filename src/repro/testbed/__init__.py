@@ -1,0 +1,54 @@
+"""Declarative fault-injection scenario testbed.
+
+The robustness counterpart of the figure experiments: scenarios are
+*data* (TOML/JSON configs → frozen, validated dataclasses), faults are
+composable deterministic stream perturbations, and a matrix runner
+drives each cell through the real streaming stack
+(simulate → inject → record JSONL → replay → score). CI gates on the
+resulting accuracy table the same way it gates on wall times
+(``benchmarks/check_accuracy_regression.py`` vs the committed
+``ACCURACY_baseline.json``).
+
+Quickstart::
+
+    python -m repro.testbed run benchmarks/scenarios_ci.toml \
+        --output ACCURACY_fresh.json --replay-dir replay_logs
+
+or from code::
+
+    from repro.testbed import load_config, run_matrix, format_scores
+    config = load_config("scenario.toml")
+    print(format_scores(run_matrix(config)))
+"""
+
+from repro.testbed.config import (
+    ConfigError,
+    FaultSpec,
+    ScenarioSpec,
+    TestbedConfig,
+    load_config,
+)
+from repro.testbed.faults import FaultPipeline
+from repro.testbed.runner import (
+    ScenarioScore,
+    format_scores,
+    load_scores,
+    run_matrix,
+    run_scenario,
+    write_scores,
+)
+
+__all__ = [
+    "ConfigError",
+    "FaultPipeline",
+    "FaultSpec",
+    "ScenarioScore",
+    "ScenarioSpec",
+    "TestbedConfig",
+    "format_scores",
+    "load_config",
+    "load_scores",
+    "run_matrix",
+    "run_scenario",
+    "write_scores",
+]

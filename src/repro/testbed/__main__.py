@@ -1,0 +1,124 @@
+"""Command line entry point for the scenario testbed.
+
+Usage::
+
+    python -m repro.testbed run <config.toml> [--output scores.json]
+        [--replay-dir DIR] [--score-words] [--env KEY=VALUE ...]
+    python -m repro.testbed list <config.toml>   # expanded cells only
+
+``run`` executes every expanded cell (simulate → inject faults →
+record JSONL → replay → score), prints the score table, and — with
+``--output`` — writes the machine-readable table the accuracy gate
+(``benchmarks/check_accuracy_regression.py``) consumes. The exit code
+is non-zero when any cell crashed instead of degrading gracefully, so
+the command is CI-usable on its own.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.testbed.config import ConfigError, load_config
+from repro.testbed.runner import format_scores, run_matrix, write_scores
+
+
+def _parse_env(pairs: list[str]) -> dict | None:
+    if not pairs:
+        return None  # fall back to os.environ
+    import os
+
+    env = dict(os.environ)
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--env needs KEY=VALUE, got {pair!r}")
+        env[key] = value
+    return env
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testbed",
+        description="Declarative fault-injection scenario testbed.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser(
+        "run", help="run every expanded scenario cell and score it"
+    )
+    run_parser.add_argument("config", help="TOML/JSON scenario config")
+    run_parser.add_argument(
+        "--output", metavar="PATH",
+        help="write the machine-readable score table (the gate's input)",
+    )
+    run_parser.add_argument(
+        "--replay-dir", metavar="DIR",
+        help="keep each cell's faulted JSONL replay log here",
+    )
+    run_parser.add_argument(
+        "--score-words", action="store_true",
+        help="also run whole-word recognition per cell (slower)",
+    )
+    run_parser.add_argument(
+        "--env", action="append", default=[], metavar="KEY=VALUE",
+        help="bind a {{ PLACEHOLDER }} (overrides the environment)",
+    )
+
+    list_parser = sub.add_parser(
+        "list", help="print the expanded scenario cells and exit"
+    )
+    list_parser.add_argument("config")
+    list_parser.add_argument(
+        "--env", action="append", default=[], metavar="KEY=VALUE"
+    )
+
+    args = parser.parse_args(argv)
+    try:
+        config = load_config(args.config, env=_parse_env(args.env))
+    except ConfigError as error:
+        print(f"config error: {error}", file=sys.stderr)
+        return 2
+
+    if args.command == "list":
+        print(f"{config.name}: {len(config.scenarios)} scenario cell(s)")
+        for spec in config.scenarios:
+            faults = "faults" if spec.faults.any_active else "clean"
+            print(
+                f"  {spec.name}  word={spec.word!r} seed={spec.seed} "
+                f"distance={spec.distance} {'LOS' if spec.los else 'NLOS'} "
+                f"[{faults}]"
+            )
+        return 0
+
+    started = time.perf_counter()
+    scores = run_matrix(
+        config,
+        replay_dir=args.replay_dir,
+        score_words=args.score_words,
+        progress=lambda score: print(
+            f"  ran {score.scenario}"
+            + ("" if score.completed else "  [CRASHED]"),
+            file=sys.stderr,
+        ),
+    )
+    elapsed = time.perf_counter() - started
+    print(format_scores(scores))
+    print(f"\n{len(scores)} cell(s) in {elapsed:.1f} s")
+    if args.output:
+        write_scores(scores, args.output, config_name=config.name)
+        print(f"score table written to {args.output}")
+    crashed = [score.scenario for score in scores if not score.completed]
+    if crashed:
+        print(
+            "cells crashed instead of degrading gracefully: "
+            + ", ".join(crashed),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,384 @@
+"""Declarative scenario configs: TOML/JSON → frozen, validated dataclasses.
+
+A testbed config is a plain data file (TOML via :mod:`tomllib`, or JSON)
+describing a *matrix* of tracking scenarios: the clean simulation knobs
+(word, user, seed, layout distance, environment, noise, protocol
+timing), the fault spec to inject into the recorded report stream, and
+optional per-scenario grids that expand one scenario block into the
+cross product of its listed values. The file format is deliberately
+dumb — no code, no includes — so a robustness workload is reviewable as
+data and diffable in CI.
+
+Placeholder substitution follows the proto2testbed idiom: anywhere in
+the file, ``{{ NAME }}`` is replaced by the value of the corresponding
+environment variable (or an explicit mapping) *before* parsing, and an
+unbound placeholder aborts the load instead of silently producing a
+half-filled config.
+
+Everything parses into frozen dataclasses (:class:`FaultSpec`,
+:class:`ScenarioSpec`, :class:`TestbedConfig`), validated field by
+field: unknown keys, wrong types and out-of-range values fail with the
+scenario name and field spelled out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "ConfigError",
+    "FaultSpec",
+    "ScenarioSpec",
+    "TestbedConfig",
+    "load_config",
+    "substitute_placeholders",
+]
+
+
+class ConfigError(ValueError):
+    """A scenario config failed to parse or validate."""
+
+
+_PLACEHOLDER = re.compile(r"\{\{\s*([A-Za-z_][A-Za-z0-9_]*)\s*\}\}")
+
+
+def substitute_placeholders(text: str, env: dict | None = None) -> str:
+    """Replace every ``{{ NAME }}`` with its environment value.
+
+    Args:
+        text: raw config text.
+        env: the substitution mapping; defaults to ``os.environ``.
+
+    Raises:
+        ConfigError: a placeholder has no binding (listing every missing
+            name, so one load reports the whole problem).
+    """
+    mapping = os.environ if env is None else env
+    missing = sorted(
+        {name for name in _PLACEHOLDER.findall(text) if name not in mapping}
+    )
+    if missing:
+        raise ConfigError(
+            "unbound config placeholders: " + ", ".join(missing)
+        )
+    return _PLACEHOLDER.sub(lambda match: str(mapping[match.group(1)]), text)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Deterministic perturbations applied to a recorded report stream.
+
+    All rates are per-report Bernoulli probabilities in ``[0, 1]``; every
+    injector draws from its own seeded RNG stream, so e.g. raising the
+    drop rate never changes *which* reports get duplicated. The spec is
+    pure data — :func:`repro.testbed.faults.FaultPipeline.from_spec`
+    turns it into the composed injector pipeline, in the canonical order
+    documented there.
+
+    Attributes:
+        drop_rate: fraction of reports lost outright.
+        burst_loss_start / burst_loss_duration: one blackout window (in
+            stream seconds) during which *every* report is lost — the
+            reader rebooting, a forklift between tag and antennas.
+        dead_antennas: antenna ids that stop reporting at
+            ``dead_from`` seconds (0 = dead from the start).
+        duplicate_rate: fraction of reports re-delivered immediately
+            (same timestamp — a reader double-reporting one read).
+        stale_replay_rate / stale_replay_delay: fraction of reports
+            re-delivered *late*, after ``delay`` stream seconds, still
+            carrying their original (stale) timestamp.
+        reorder_rate / reorder_max_shift: fraction of reports delayed in
+            arrival order by up to ``max_shift`` seconds (timestamps
+            untouched), so per-antenna streams arrive out of order.
+        nonfinite_rate: fraction of reports whose phase is corrupted to
+            a non-finite value (NaN, ±inf — a flaky reader's garbage).
+        ghost_epcs / ghost_reports_each: inject this many never-seen
+            tag EPCs, each contributing a handful of plausible-looking
+            reports scattered over the stream (misread bursts that must
+            not cost real tags their trajectories).
+    """
+
+    drop_rate: float = 0.0
+    burst_loss_start: float = -1.0
+    burst_loss_duration: float = 0.0
+    dead_antennas: tuple[int, ...] = ()
+    dead_from: float = 0.0
+    duplicate_rate: float = 0.0
+    stale_replay_rate: float = 0.0
+    stale_replay_delay: float = 0.5
+    reorder_rate: float = 0.0
+    reorder_max_shift: float = 0.05
+    nonfinite_rate: float = 0.0
+    ghost_epcs: int = 0
+    ghost_reports_each: int = 6
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate", "stale_replay_rate",
+                     "reorder_rate", "nonfinite_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"faults.{name} must be in [0, 1], got {value}")
+        for name in ("burst_loss_duration", "dead_from", "stale_replay_delay",
+                     "reorder_max_shift"):
+            if getattr(self, name) < 0.0:
+                raise ConfigError(f"faults.{name} must be non-negative")
+        for name in ("ghost_epcs", "ghost_reports_each"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"faults.{name} must be non-negative")
+
+    @property
+    def any_active(self) -> bool:
+        """True when this spec perturbs the stream at all."""
+        return self != FaultSpec()
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One cell of the matrix: a clean simulation plus its fault spec.
+
+    The simulation fields mirror
+    :class:`repro.experiments.scenarios.ScenarioConfig` (the runner maps
+    them straight through); ``word``/``user``/``seed`` select what gets
+    written and by whom, exactly like a figure experiment's
+    :class:`~repro.experiments.scenarios.WordJob`.
+    """
+
+    name: str
+    word: str = "hi"
+    user: int = 0
+    seed: int = 0
+    distance: float = 2.0
+    los: bool = True
+    letter_height: float = 0.18
+    phase_noise_sigma: float = 0.12
+    antenna_jitter_sigma: float = 0.003
+    reader_dwell: float = 0.04
+    sample_rate: float = 20.0
+    candidate_count: int = 8
+    faults: FaultSpec = field(default_factory=FaultSpec)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("every scenario needs a non-empty name")
+        if not self.word or not self.word.isalpha() or not self.word.islower():
+            raise ConfigError(
+                f"scenario {self.name!r}: word must be a lowercase word, "
+                f"got {self.word!r}"
+            )
+        if not 0.5 <= self.distance <= 8.0:
+            raise ConfigError(
+                f"scenario {self.name!r}: distance must be 0.5–8 m"
+            )
+        if self.sample_rate <= 0:
+            raise ConfigError(
+                f"scenario {self.name!r}: sample_rate must be positive"
+            )
+        if self.candidate_count < 1:
+            raise ConfigError(
+                f"scenario {self.name!r}: candidate_count must be >= 1"
+            )
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """A named, fully expanded scenario matrix."""
+
+    name: str
+    scenarios: tuple[ScenarioSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ConfigError(f"config {self.name!r} declares no scenarios")
+        names = [scenario.name for scenario in self.scenarios]
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise ConfigError(
+                "duplicate scenario names after grid expansion: "
+                + ", ".join(duplicates)
+            )
+
+
+# ----------------------------------------------------------------------
+# Parsing and validation
+# ----------------------------------------------------------------------
+_SCENARIO_FIELDS = {f.name: f for f in dataclasses.fields(ScenarioSpec)}
+_FAULT_FIELDS = {f.name: f for f in dataclasses.fields(FaultSpec)}
+#: Expected scalar type per scenario field (the validator's schema).
+_SCENARIO_TYPES = {
+    "name": str, "word": str, "user": int, "seed": int,
+    "distance": float, "los": bool, "letter_height": float,
+    "phase_noise_sigma": float, "antenna_jitter_sigma": float,
+    "reader_dwell": float, "sample_rate": float, "candidate_count": int,
+}
+#: Scenario fields a ``[scenario.grid]`` table may sweep (scalars only).
+_GRIDDABLE = set(_SCENARIO_TYPES) - {"name"}
+
+
+def _coerce(context: str, name: str, value, expected: type):
+    """Type-check one field, allowing int→float widening only."""
+    if expected is float and isinstance(value, int) and not isinstance(value, bool):
+        return float(value)
+    if expected is bool:
+        if not isinstance(value, bool):
+            raise ConfigError(f"{context}: {name} must be a boolean")
+        return value
+    if expected is int:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ConfigError(f"{context}: {name} must be an integer")
+        return value
+    if not isinstance(value, expected):
+        raise ConfigError(
+            f"{context}: {name} must be {expected.__name__}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def _parse_faults(context: str, table) -> FaultSpec:
+    if not isinstance(table, dict):
+        raise ConfigError(f"{context}: faults must be a table")
+    kwargs = {}
+    for key, value in table.items():
+        if key not in _FAULT_FIELDS:
+            raise ConfigError(
+                f"{context}: unknown fault field {key!r} (known: "
+                + ", ".join(sorted(_FAULT_FIELDS)) + ")"
+            )
+        if key == "dead_antennas":
+            if not isinstance(value, (list, tuple)) or not all(
+                isinstance(v, int) and not isinstance(v, bool) for v in value
+            ):
+                raise ConfigError(
+                    f"{context}: dead_antennas must be a list of antenna ids"
+                )
+            kwargs[key] = tuple(value)
+        else:
+            expected = type(getattr(FaultSpec(), key))
+            kwargs[key] = _coerce(context, f"faults.{key}", value, expected)
+    return FaultSpec(**kwargs)
+
+
+def _parse_scenario(
+    table: dict, defaults: dict, index: int
+) -> list[ScenarioSpec]:
+    """One ``[[scenario]]`` block → its expanded grid cells."""
+    if not isinstance(table, dict):
+        raise ConfigError(f"scenario #{index}: must be a table")
+    name = table.get("name", defaults.get("name"))
+    if not isinstance(name, str) or not name:
+        raise ConfigError(f"scenario #{index}: needs a name")
+    context = f"scenario {name!r}"
+    grid = table.get("grid", {})
+    if not isinstance(grid, dict):
+        raise ConfigError(f"{context}: grid must be a table of lists")
+    merged = dict(defaults)
+    merged.update(table)
+    merged.pop("grid", None)
+    merged["name"] = name
+
+    kwargs = {}
+    for key, value in merged.items():
+        if key not in _SCENARIO_FIELDS:
+            raise ConfigError(
+                f"{context}: unknown field {key!r} (known: "
+                + ", ".join(sorted(_SCENARIO_FIELDS)) + ")"
+            )
+        if key == "faults":
+            kwargs[key] = _parse_faults(context, value)
+        else:
+            kwargs[key] = _coerce(context, key, value, _SCENARIO_TYPES[key])
+
+    # Grid expansion: the cross product of every listed axis, cells
+    # named "<name>/<axis>=<value>" in a stable axis order.
+    axes = []
+    for key, values in grid.items():
+        if key not in _GRIDDABLE:
+            raise ConfigError(
+                f"{context}: grid axis {key!r} is not sweepable (allowed: "
+                + ", ".join(sorted(_GRIDDABLE)) + ")"
+            )
+        if not isinstance(values, (list, tuple)) or not values:
+            raise ConfigError(
+                f"{context}: grid.{key} must be a non-empty list"
+            )
+        axes.append((key, list(values)))
+    if not axes:
+        return [ScenarioSpec(**kwargs)]
+    cells = []
+    for combo in itertools.product(*(values for _, values in axes)):
+        cell_kwargs = dict(kwargs)
+        suffix = []
+        for (key, _), value in zip(axes, combo):
+            cell_kwargs[key] = _coerce(
+                context, f"grid.{key}", value, _SCENARIO_TYPES[key]
+            )
+            suffix.append(f"{key}={value}")
+        cell_kwargs["name"] = name + "/" + ",".join(suffix)
+        cells.append(ScenarioSpec(**cell_kwargs))
+    return cells
+
+
+def parse_config(data: dict, source: str = "<config>") -> TestbedConfig:
+    """Validate a parsed TOML/JSON document into a :class:`TestbedConfig`."""
+    if not isinstance(data, dict):
+        raise ConfigError(f"{source}: top level must be a table")
+    unknown = set(data) - {"name", "defaults", "scenario"}
+    if unknown:
+        raise ConfigError(
+            f"{source}: unknown top-level keys: " + ", ".join(sorted(unknown))
+        )
+    name = data.get("name", Path(source).stem)
+    if not isinstance(name, str) or not name:
+        raise ConfigError(f"{source}: name must be a non-empty string")
+    defaults = data.get("defaults", {})
+    if not isinstance(defaults, dict):
+        raise ConfigError(f"{source}: defaults must be a table")
+    scenarios_raw = data.get("scenario", [])
+    if not isinstance(scenarios_raw, list):
+        raise ConfigError(f"{source}: scenario must be an array of tables")
+    scenarios: list[ScenarioSpec] = []
+    for index, table in enumerate(scenarios_raw):
+        scenarios.extend(_parse_scenario(table, defaults, index))
+    return TestbedConfig(name=name, scenarios=tuple(scenarios))
+
+
+def load_config(path, env: dict | None = None) -> TestbedConfig:
+    """Load, substitute, parse and validate a scenario config file.
+
+    The format follows the extension: ``.toml`` (anything else is
+    treated as JSON). Structure::
+
+        name = "ci-robustness"
+
+        [defaults]                  # merged under every scenario
+        word = "sun"
+        distance = 2.0
+
+        [[scenario]]
+        name = "clean"
+
+        [[scenario]]
+        name = "dropped"
+        [scenario.faults]
+        drop_rate = 0.2
+        [scenario.grid]             # cross-product expansion
+        seed = [0, 1]
+    """
+    path = Path(path)
+    text = substitute_placeholders(path.read_text(encoding="utf-8"), env)
+    try:
+        if path.suffix.lower() == ".toml":
+            import tomllib
+
+            data = tomllib.loads(text)
+        else:
+            data = json.loads(text)
+    except (ValueError, json.JSONDecodeError) as error:
+        raise ConfigError(f"{path}: cannot parse: {error}") from error
+    return parse_config(data, source=str(path))

@@ -1,0 +1,398 @@
+"""Composable, deterministic fault injection for phase-report streams.
+
+Every injector is a pure function of ``(reports, rng)``: it returns a
+new report list (inputs are never mutated) and leaves what it did in its
+``counters`` dict. A :class:`FaultPipeline` composes injectors in a
+fixed, documented order and hands each its *own*
+:class:`numpy.random.Generator` spawned from one seed — so injection is
+bit-deterministic per seed, and raising one fault's rate never changes
+which reports another fault touches (their RNG streams are independent,
+even though a structural fault upstream still changes what downstream
+injectors see — that ordering is part of the contract and is tested).
+
+Canonical composition order (what :meth:`FaultPipeline.from_spec`
+builds — structural losses first, then re-deliveries and injections,
+corruption next, arrival-order shuffling last so it also shuffles the
+injected traffic):
+
+1. :class:`DeadAntennaInjector` — antennas going dark,
+2. :class:`BurstLossInjector` — a full-stream blackout window,
+3. :class:`DropInjector` — i.i.d. report loss,
+4. :class:`DuplicateInjector` — immediate re-delivery,
+5. :class:`StaleReplayInjector` — late re-delivery with stale stamps,
+6. :class:`GhostEpcInjector` — never-seen EPCs from misread bursts,
+7. :class:`NonFiniteInjector` — NaN/±inf phase corruption,
+8. :class:`ReorderInjector` — arrival-order shuffling.
+
+The streams these produce are exactly the dirty inputs the streaming
+stack hardened against (stale bursts, non-finite phases, ghost EPCs,
+stragglers); the testbed's job is to declare them cheaply and score how
+gracefully the pipeline degrades.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.rfid.epc import Epc96
+from repro.rfid.reader import PhaseReport
+from repro.testbed.config import FaultSpec
+
+__all__ = [
+    "FaultInjector",
+    "DeadAntennaInjector",
+    "BurstLossInjector",
+    "DropInjector",
+    "DuplicateInjector",
+    "StaleReplayInjector",
+    "GhostEpcInjector",
+    "NonFiniteInjector",
+    "ReorderInjector",
+    "FaultPipeline",
+    "count_nonfinite",
+]
+
+#: Seed-domain tag so testbed RNG streams never collide with the
+#: simulation's own ``SeedSequence([seed, user, word])`` streams.
+_FAULT_DOMAIN = 0x5FA017
+
+
+class FaultInjector:
+    """Base class: one deterministic perturbation of a report stream."""
+
+    #: Short machine name, the key of this injector's counters.
+    name = "fault"
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+
+    def apply(
+        self, reports: list[PhaseReport], rng: np.random.Generator
+    ) -> list[PhaseReport]:
+        raise NotImplementedError
+
+    def _reset(self, **counters: int) -> dict[str, int]:
+        """Fresh counters for one ``apply`` call."""
+        self.counters = dict(counters)
+        return self.counters
+
+
+class DeadAntennaInjector(FaultInjector):
+    """Antennas that stop reporting at a cutoff time (0 = born dead)."""
+
+    name = "dead_antenna"
+
+    def __init__(self, antenna_ids, dead_from: float = 0.0) -> None:
+        super().__init__()
+        self.antenna_ids = frozenset(int(a) for a in antenna_ids)
+        self.dead_from = float(dead_from)
+
+    def apply(self, reports, rng):
+        counters = self._reset(blacked_out=0)
+        kept = []
+        for report in reports:
+            if (report.antenna_id in self.antenna_ids
+                    and report.time >= self.dead_from):
+                counters["blacked_out"] += 1
+            else:
+                kept.append(report)
+        return kept
+
+
+class BurstLossInjector(FaultInjector):
+    """Every report inside ``[start, start + duration)`` is lost."""
+
+    name = "burst_loss"
+
+    def __init__(self, start: float, duration: float) -> None:
+        super().__init__()
+        self.start = float(start)
+        self.duration = float(duration)
+
+    def apply(self, reports, rng):
+        counters = self._reset(lost=0)
+        end = self.start + self.duration
+        kept = []
+        for report in reports:
+            if self.start <= report.time < end:
+                counters["lost"] += 1
+            else:
+                kept.append(report)
+        return kept
+
+
+class DropInjector(FaultInjector):
+    """I.i.d. per-report loss at a fixed rate."""
+
+    name = "drop"
+
+    def __init__(self, rate: float) -> None:
+        super().__init__()
+        self.rate = float(rate)
+
+    def apply(self, reports, rng):
+        counters = self._reset(dropped=0)
+        if not reports:
+            return []
+        keep = rng.random(len(reports)) >= self.rate
+        counters["dropped"] = int(len(reports) - keep.sum())
+        return [report for report, k in zip(reports, keep) if k]
+
+
+class DuplicateInjector(FaultInjector):
+    """Selected reports are re-delivered immediately, timestamp and all."""
+
+    name = "duplicate"
+
+    def __init__(self, rate: float) -> None:
+        super().__init__()
+        self.rate = float(rate)
+
+    def apply(self, reports, rng):
+        counters = self._reset(duplicated=0)
+        if not reports:
+            return []
+        chosen = rng.random(len(reports)) < self.rate
+        out = []
+        for report, duplicate in zip(reports, chosen):
+            out.append(report)
+            if duplicate:
+                out.append(dataclasses.replace(report))
+                counters["duplicated"] += 1
+        return out
+
+
+class StaleReplayInjector(FaultInjector):
+    """Selected reports are re-delivered ``delay`` seconds late.
+
+    The replayed copy keeps its *original* timestamp — the signature of
+    a buffering reader flushing a stale burst, which per-antenna streams
+    observe as an out-of-order arrival long after the fact.
+    """
+
+    name = "stale_replay"
+
+    def __init__(self, rate: float, delay: float) -> None:
+        super().__init__()
+        self.rate = float(rate)
+        self.delay = float(delay)
+
+    def apply(self, reports, rng):
+        counters = self._reset(replayed=0)
+        if not reports:
+            return []
+        chosen = rng.random(len(reports)) < self.rate
+        # Arrival-time sort keys: originals arrive at their timestamp,
+        # replays at timestamp + delay; the sort is stable on ties.
+        arrivals = [
+            (report.time, 0, index)
+            for index, report in enumerate(reports)
+        ]
+        replays = []
+        for index, (report, replay) in enumerate(zip(reports, chosen)):
+            if replay:
+                replays.append((report.time + self.delay, 1, index))
+                counters["replayed"] += 1
+        merged = sorted(arrivals + replays)
+        return [reports[index] for _, _, index in merged]
+
+
+class GhostEpcInjector(FaultInjector):
+    """Inject reports of EPCs no real tag carries (misread bursts).
+
+    Each ghost gets a distinct EPC and a handful of reports scattered
+    uniformly over the stream's time span, carrying random phases on
+    antennas sampled from the real stream — enough to open a session,
+    rarely enough to warm one up.
+    """
+
+    name = "ghost_epc"
+
+    def __init__(self, count: int, reports_each: int = 6) -> None:
+        super().__init__()
+        self.count = int(count)
+        self.reports_each = int(reports_each)
+
+    def apply(self, reports, rng):
+        counters = self._reset(ghosts=0, ghost_reports=0)
+        if not reports or self.count == 0 or self.reports_each == 0:
+            return list(reports)
+        start = reports[0].time
+        end = max(report.time for report in reports)
+        antennas = sorted(
+            {(report.antenna_id, report.reader_id) for report in reports}
+        )
+        injected = []
+        for _ in range(self.count):
+            epc_hex = Epc96.with_serial(
+                int(rng.integers(1, 2**38))
+            ).to_hex()
+            counters["ghosts"] += 1
+            times = np.sort(rng.uniform(start, end, size=self.reports_each))
+            picks = rng.integers(0, len(antennas), size=self.reports_each)
+            for when, pick in zip(times, picks):
+                antenna_id, reader_id = antennas[int(pick)]
+                injected.append(
+                    PhaseReport(
+                        time=float(when),
+                        epc_hex=epc_hex,
+                        reader_id=reader_id,
+                        antenna_id=antenna_id,
+                        phase=float(rng.uniform(0.0, 2.0 * np.pi)),
+                        rssi_dbm=float(rng.uniform(-75.0, -55.0)),
+                    )
+                )
+                counters["ghost_reports"] += 1
+        # Merge by timestamp (stable: real reports first on ties), so
+        # ghosts interleave the stream the way a live reader saw them.
+        merged = sorted(
+            [(report.time, 0, index, report)
+             for index, report in enumerate(reports)]
+            + [(report.time, 1, index, report)
+               for index, report in enumerate(injected)],
+            key=lambda entry: entry[:3],
+        )
+        return [report for _, _, _, report in merged]
+
+
+class NonFiniteInjector(FaultInjector):
+    """Corrupt selected reports' phases to NaN/±inf garbage."""
+
+    name = "nonfinite"
+
+    _GARBAGE = (float("nan"), float("inf"), float("-inf"))
+
+    def __init__(self, rate: float) -> None:
+        super().__init__()
+        self.rate = float(rate)
+
+    def apply(self, reports, rng):
+        counters = self._reset(corrupted=0)
+        if not reports:
+            return []
+        chosen = rng.random(len(reports)) < self.rate
+        picks = rng.integers(0, len(self._GARBAGE), size=len(reports))
+        out = []
+        for report, corrupt, pick in zip(reports, chosen, picks):
+            if corrupt:
+                out.append(
+                    dataclasses.replace(
+                        report, phase=self._GARBAGE[int(pick)]
+                    )
+                )
+                counters["corrupted"] += 1
+            else:
+                out.append(report)
+        return out
+
+
+class ReorderInjector(FaultInjector):
+    """Delay selected reports' *arrival* by up to ``max_shift`` seconds.
+
+    Timestamps are untouched; only the stream order changes, so
+    per-antenna report sequences arrive out of order — the fault the
+    resampler's ``out_of_order`` policy exists for.
+    """
+
+    name = "reorder"
+
+    def __init__(self, rate: float, max_shift: float) -> None:
+        super().__init__()
+        self.rate = float(rate)
+        self.max_shift = float(max_shift)
+
+    def apply(self, reports, rng):
+        counters = self._reset(reordered=0)
+        if not reports:
+            return []
+        chosen = rng.random(len(reports)) < self.rate
+        shifts = rng.uniform(0.0, self.max_shift, size=len(reports))
+        arrivals = []
+        for index, (report, shuffle) in enumerate(zip(reports, chosen)):
+            arrival = report.time + (shifts[index] if shuffle else 0.0)
+            if shuffle:
+                counters["reordered"] += 1
+            arrivals.append((arrival, index))
+        arrivals.sort()
+        return [reports[index] for _, index in arrivals]
+
+
+class FaultPipeline:
+    """Composed injectors with one seed and per-fault counters.
+
+    ``inject`` re-derives every injector's RNG from the seed on each
+    call, so the same pipeline applied to the same stream always
+    produces the same faulted stream (and the same counters) — the
+    determinism the accuracy gate depends on.
+    """
+
+    def __init__(self, injectors: list[FaultInjector], seed: int = 0) -> None:
+        self.injectors = list(injectors)
+        self.seed = int(seed)
+        self.counters: dict[str, dict[str, int]] = {}
+
+    @classmethod
+    def from_spec(cls, spec: FaultSpec, seed: int = 0) -> "FaultPipeline":
+        """The canonical pipeline of a :class:`FaultSpec` (module order)."""
+        injectors: list[FaultInjector] = []
+        if spec.dead_antennas:
+            injectors.append(
+                DeadAntennaInjector(spec.dead_antennas, spec.dead_from)
+            )
+        if spec.burst_loss_duration > 0 and spec.burst_loss_start >= 0:
+            injectors.append(
+                BurstLossInjector(
+                    spec.burst_loss_start, spec.burst_loss_duration
+                )
+            )
+        if spec.drop_rate > 0:
+            injectors.append(DropInjector(spec.drop_rate))
+        if spec.duplicate_rate > 0:
+            injectors.append(DuplicateInjector(spec.duplicate_rate))
+        if spec.stale_replay_rate > 0:
+            injectors.append(
+                StaleReplayInjector(
+                    spec.stale_replay_rate, spec.stale_replay_delay
+                )
+            )
+        if spec.ghost_epcs > 0:
+            injectors.append(
+                GhostEpcInjector(spec.ghost_epcs, spec.ghost_reports_each)
+            )
+        if spec.nonfinite_rate > 0:
+            injectors.append(NonFiniteInjector(spec.nonfinite_rate))
+        if spec.reorder_rate > 0:
+            injectors.append(
+                ReorderInjector(spec.reorder_rate, spec.reorder_max_shift)
+            )
+        return cls(injectors, seed=seed)
+
+    def inject(self, reports: list[PhaseReport]) -> list[PhaseReport]:
+        """Run the stream through every injector, in order."""
+        out = list(reports)
+        self.counters = {}
+        if not self.injectors:
+            return out
+        streams = np.random.SeedSequence(
+            [_FAULT_DOMAIN, self.seed]
+        ).spawn(len(self.injectors))
+        for injector, stream in zip(self.injectors, streams):
+            out = injector.apply(out, np.random.default_rng(stream))
+            self.counters[injector.name] = dict(injector.counters)
+        return out
+
+    def flat_counters(self) -> dict[str, int]:
+        """``{"drop.dropped": 3, …}`` — one flat dict for stats snapshots."""
+        return {
+            f"{name}.{key}": value
+            for name, counters in self.counters.items()
+            for key, value in counters.items()
+        }
+
+
+def count_nonfinite(reports) -> int:
+    """How many reports carry a non-finite phase (test/scoring helper)."""
+    return sum(0 if math.isfinite(report.phase) else 1 for report in reports)

@@ -119,6 +119,73 @@ class TestPhaseLogs:
             assert np.allclose(a.delta_phi, b.delta_phi)
 
 
+class TestNonStrictReads:
+    """strict=False: skip-and-count malformed lines instead of raising."""
+
+    def write_dirty_log(self, tmp_path):
+        path = tmp_path / "dirty.jsonl"
+        save_phase_log(make_log(), path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"time": 1.0}\n')  # missing fields
+            handle.write('{"time": "x", "epc_hex": "A", "reader_id": 1, '
+                         '"antenna_id": 1, "phase": 0.1, "rssi_dbm": -60}\n')
+            handle.write('{"time": 9.0, "epc_hex": "C', )  # torn final line
+        return path
+
+    def test_skips_and_counts_malformed_lines(self, tmp_path):
+        from repro.io import LogReadStats
+
+        path = self.write_dirty_log(tmp_path)
+        stats = LogReadStats()
+        reports = list(iter_phase_log(path, strict=False, stats=stats))
+        assert len(reports) == 3  # the good lines all survive
+        assert stats.skipped_lines == 4
+
+    def test_stats_object_optional(self, tmp_path):
+        path = self.write_dirty_log(tmp_path)
+        assert len(list(iter_phase_log(path, strict=False))) == 3
+
+    def test_strict_default_still_raises(self, tmp_path):
+        path = self.write_dirty_log(tmp_path)
+        with pytest.raises(ValueError, match="dirty.jsonl:4"):
+            list(iter_phase_log(path))
+
+    def test_load_phase_log_passes_through(self, tmp_path):
+        from repro.io import LogReadStats
+
+        path = self.write_dirty_log(tmp_path)
+        stats = LogReadStats()
+        loaded = load_phase_log(path, strict=False, stats=stats)
+        assert len(loaded) == 3
+        assert stats.skipped_lines == 4
+
+    def test_nonfinite_phase_is_data_not_malformed(self, tmp_path):
+        """A NaN phase round-trips — the stream drop policy owns it."""
+        import math
+
+        reports = [
+            PhaseReport(0.01, "A" * 24, 1, 2, float("nan"), -60.0),
+            PhaseReport(0.02, "A" * 24, 1, 3, 1.0, -60.0),
+        ]
+        path = tmp_path / "nan.jsonl"
+        assert save_phase_log(reports, path) == 2
+        restored = list(iter_phase_log(path))  # strict: still no error
+        assert math.isnan(restored[0].phase)
+        assert restored[1].phase == 1.0
+
+    def test_iterable_save_preserves_stream_order(self, tmp_path):
+        """Raw-iterable saves keep arrival order (reordered streams)."""
+        shuffled = [
+            PhaseReport(0.03, "A" * 24, 1, 2, 0.5, -60.0),
+            PhaseReport(0.01, "A" * 24, 1, 3, 0.6, -60.0),
+            PhaseReport(0.02, "A" * 24, 1, 4, 0.7, -60.0),
+        ]
+        path = tmp_path / "order.jsonl"
+        save_phase_log(shuffled, path)
+        assert list(iter_phase_log(path)) == shuffled
+
+
 class TestTrajectories:
     def test_round_trip(self, tmp_path):
         times = np.linspace(0, 1, 7)

@@ -586,3 +586,101 @@ class TestRetainResultsBoundedState:
         manager.replay(path)
         assert manager.on_session_finalized is user_callback
         assert len(seen) == 2  # the user's callback still fired
+
+
+class TestStatsSnapshot:
+    """SessionManager.stats(): one structured health snapshot."""
+
+    def test_replay_result_is_dict_with_stats(self, two_tag_world, tmp_path):
+        from repro.stream import ManagerStats, ReplayResult
+
+        system, _deployment, log, tags = two_tag_world
+        path = tmp_path / "log.jsonl"
+        save_phase_log(log, path)
+        manager = SessionManager(system, candidate_count=2)
+        results = manager.replay(path)
+        # Backward compatible: still the {epc: result} mapping…
+        assert isinstance(results, dict)
+        assert isinstance(results, ReplayResult)
+        assert set(results) == {tag.epc.to_hex() for tag in tags}
+        # …with the end-of-replay snapshot riding along.
+        assert isinstance(results.stats, ManagerStats)
+        assert results.stats.ingested_reports == len(log.reports)
+        assert results.stats.finalized_sessions == 2
+        assert results.stats.open_sessions == 0
+        assert results.stats.failed_sessions == 0
+        assert results.stats.skipped_log_lines == 0
+
+    def test_stats_as_dict_is_json_ready(self, two_tag_world):
+        import json
+
+        system, _deployment, log, _tags = two_tag_world
+        manager = SessionManager(system, candidate_count=2)
+        manager.extend(log.reports[:50])
+        snapshot = manager.stats().as_dict()
+        json.dumps(snapshot)  # must serialize
+        assert snapshot["ingested_reports"] == 50
+        assert snapshot["open_sessions"] >= 1
+        assert snapshot["injected"] == {}
+
+    def test_open_then_finalized_transitions(self, two_tag_world):
+        system, _deployment, log, _tags = two_tag_world
+        manager = SessionManager(system, candidate_count=2)
+        manager.extend(log.reports)
+        assert manager.stats().open_sessions == 2
+        manager.finalize_all()
+        stats = manager.stats()
+        assert stats.open_sessions == 0
+        assert stats.finalized_sessions == 2
+
+    def test_nonfinite_drops_counted(self, two_tag_world):
+        import dataclasses
+
+        system, _deployment, log, _tags = two_tag_world
+        manager = SessionManager(
+            system, candidate_count=2, out_of_order="drop"
+        )
+        reports = list(log.reports)
+        corrupted = [
+            dataclasses.replace(reports[10], phase=float("nan")),
+            dataclasses.replace(reports[20], phase=float("inf")),
+        ]
+        manager.extend(reports[:30] + corrupted + reports[30:])
+        stats = manager.stats()
+        assert stats.ingested_reports == len(reports) + 2
+        assert stats.dropped_nonfinite == 2
+        assert stats.dropped_reports >= 2
+
+    def test_note_injected_accumulates_into_stats(self, two_tag_world):
+        system, _deployment, _log, _tags = two_tag_world
+        manager = SessionManager(system, candidate_count=2)
+        manager.note_injected({"drop.dropped": 3, "ghost_epc.ghosts": 1})
+        manager.note_injected({"drop.dropped": 2})
+        assert manager.stats().injected == {
+            "drop.dropped": 5,
+            "ghost_epc.ghosts": 1,
+        }
+
+    def test_nonstrict_replay_counts_skipped_lines(
+        self, two_tag_world, tmp_path
+    ):
+        system, _deployment, log, _tags = two_tag_world
+        path = tmp_path / "dirty.jsonl"
+        save_phase_log(log, path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("garbage line\n")
+            handle.write('{"time": 0.5}\n')
+        manager = SessionManager(system, candidate_count=2)
+        results = manager.replay(path, strict=False)
+        assert len(results) == 2  # the stream still reconstructs
+        assert results.stats.skipped_log_lines == 2
+
+    def test_strict_replay_still_raises(self, two_tag_world, tmp_path):
+        system, _deployment, log, _tags = two_tag_world
+        path = tmp_path / "dirty.jsonl"
+        save_phase_log(log, path)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("garbage line\n")
+        manager = SessionManager(system, candidate_count=2)
+        with pytest.raises(ValueError, match="malformed phase record"):
+            manager.replay(path)

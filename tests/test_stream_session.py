@@ -381,13 +381,12 @@ class TestCandidatePruningSession:
 
 def _corrupt_phase(report):
     """A copy of ``report`` with a NaN phase, as a flaky reader driver
-    (or an unvalidated deserialization path) could hand the ingest loop —
-    ``PhaseReport.__post_init__`` itself rejects NaN, so sneak past it."""
-    import copy
+    (or the testbed's NonFiniteInjector) hands the ingest loop —
+    ``PhaseReport`` accepts non-finite phases as data, leaving the
+    drop-or-raise decision to the stream policy downstream."""
+    import dataclasses
 
-    bad = copy.copy(report)
-    object.__setattr__(bad, "phase", float("nan"))
-    return bad
+    return dataclasses.replace(report, phase=float("nan"))
 
 
 class TestStreamFailureModes:

@@ -1,0 +1,265 @@
+"""Unit tests for the declarative scenario config layer."""
+
+import json
+
+import pytest
+
+from repro.testbed import (
+    ConfigError,
+    FaultSpec,
+    ScenarioSpec,
+    load_config,
+)
+from repro.testbed.config import parse_config, substitute_placeholders
+
+
+class TestPlaceholders:
+    def test_substitutes_from_mapping(self):
+        text = 'word = "{{ WORD }}"\nseed = {{SEED}}'
+        out = substitute_placeholders(text, {"WORD": "sun", "SEED": 3})
+        assert out == 'word = "sun"\nseed = 3'
+
+    def test_whitespace_inside_braces_is_flexible(self):
+        assert substitute_placeholders("{{X}} {{  X  }}", {"X": "a"}) == "a a"
+
+    def test_missing_placeholder_lists_all_names(self):
+        with pytest.raises(ConfigError, match="ALPHA, BETA"):
+            substitute_placeholders("{{ BETA }} {{ ALPHA }}", {})
+
+    def test_text_without_placeholders_untouched(self):
+        assert substitute_placeholders("plain { text }", {}) == "plain { text }"
+
+    def test_defaults_to_os_environ(self, monkeypatch):
+        monkeypatch.setenv("TESTBED_WORD", "ink")
+        assert substitute_placeholders("{{ TESTBED_WORD }}") == "ink"
+
+
+class TestFaultSpec:
+    def test_defaults_are_inert(self):
+        assert not FaultSpec().any_active
+
+    def test_any_fault_field_activates(self):
+        assert FaultSpec(drop_rate=0.1).any_active
+        assert FaultSpec(dead_antennas=(2,)).any_active
+
+    @pytest.mark.parametrize("field", [
+        "drop_rate", "duplicate_rate", "stale_replay_rate",
+        "reorder_rate", "nonfinite_rate",
+    ])
+    def test_rates_must_be_probabilities(self, field):
+        with pytest.raises(ConfigError, match=field):
+            FaultSpec(**{field: 1.5})
+        with pytest.raises(ConfigError, match=field):
+            FaultSpec(**{field: -0.1})
+
+    def test_negative_durations_rejected(self):
+        with pytest.raises(ConfigError, match="burst_loss_duration"):
+            FaultSpec(burst_loss_duration=-1.0)
+        with pytest.raises(ConfigError, match="ghost_epcs"):
+            FaultSpec(ghost_epcs=-1)
+
+
+class TestScenarioSpec:
+    def test_word_must_be_lowercase_alpha(self):
+        with pytest.raises(ConfigError, match="lowercase word"):
+            ScenarioSpec(name="x", word="Sun")
+        with pytest.raises(ConfigError, match="lowercase word"):
+            ScenarioSpec(name="x", word="h i")
+
+    def test_distance_bounds(self):
+        with pytest.raises(ConfigError, match="distance"):
+            ScenarioSpec(name="x", distance=0.1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError, match="name"):
+            ScenarioSpec(name="")
+
+
+def write_toml(tmp_path, text, name="config.toml"):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestLoadConfig:
+    def test_toml_round_trip(self, tmp_path):
+        path = write_toml(tmp_path, """
+            name = "demo"
+
+            [defaults]
+            word = "sun"
+            seed = 4
+
+            [[scenario]]
+            name = "clean"
+
+            [[scenario]]
+            name = "dropped"
+            word = "cat"
+            [scenario.faults]
+            drop_rate = 0.25
+        """)
+        config = load_config(path)
+        assert config.name == "demo"
+        assert [s.name for s in config.scenarios] == ["clean", "dropped"]
+        clean, dropped = config.scenarios
+        assert clean.word == "sun" and clean.seed == 4
+        assert dropped.word == "cat" and dropped.seed == 4
+        assert dropped.faults.drop_rate == 0.25
+        assert not clean.faults.any_active
+
+    def test_json_format_by_extension(self, tmp_path):
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps({
+            "name": "j",
+            "scenario": [{"name": "only", "word": "owl"}],
+        }), encoding="utf-8")
+        config = load_config(path)
+        assert config.scenarios[0].word == "owl"
+
+    def test_placeholders_substituted_before_parse(self, tmp_path):
+        path = write_toml(tmp_path, """
+            name = "env"
+            [[scenario]]
+            name = "cell"
+            word = "{{ WORD }}"
+            seed = {{ SEED }}
+        """)
+        config = load_config(path, env={"WORD": "pen", "SEED": "7"})
+        assert config.scenarios[0].word == "pen"
+        assert config.scenarios[0].seed == 7
+
+    def test_unbound_placeholder_aborts(self, tmp_path):
+        path = write_toml(tmp_path, 'name = "{{ NOPE }}"\n[[scenario]]\nname = "x"')
+        with pytest.raises(ConfigError, match="NOPE"):
+            load_config(path, env={})
+
+    def test_unknown_scenario_field_rejected(self, tmp_path):
+        path = write_toml(tmp_path, """
+            [[scenario]]
+            name = "x"
+            wrod = "typo"
+        """)
+        with pytest.raises(ConfigError, match="wrod"):
+            load_config(path)
+
+    def test_unknown_fault_field_rejected(self, tmp_path):
+        path = write_toml(tmp_path, """
+            [[scenario]]
+            name = "x"
+            [scenario.faults]
+            drop_rat = 0.2
+        """)
+        with pytest.raises(ConfigError, match="drop_rat"):
+            load_config(path)
+
+    def test_wrong_type_rejected(self, tmp_path):
+        path = write_toml(tmp_path, """
+            [[scenario]]
+            name = "x"
+            seed = "three"
+        """)
+        with pytest.raises(ConfigError, match="seed must be an integer"):
+            load_config(path)
+
+    def test_bool_is_not_an_int(self, tmp_path):
+        path = write_toml(tmp_path, """
+            [[scenario]]
+            name = "x"
+            user = true
+        """)
+        with pytest.raises(ConfigError, match="user must be an integer"):
+            load_config(path)
+
+    def test_int_widens_to_float(self, tmp_path):
+        path = write_toml(tmp_path, """
+            [[scenario]]
+            name = "x"
+            distance = 3
+        """)
+        spec = load_config(path).scenarios[0]
+        assert spec.distance == 3.0 and isinstance(spec.distance, float)
+
+    def test_bad_toml_names_file(self, tmp_path):
+        path = write_toml(tmp_path, "name = [unclosed")
+        with pytest.raises(ConfigError, match="cannot parse"):
+            load_config(path)
+
+    def test_empty_config_rejected(self, tmp_path):
+        path = write_toml(tmp_path, 'name = "empty"')
+        with pytest.raises(ConfigError, match="no scenarios"):
+            load_config(path)
+
+
+class TestGridExpansion:
+    def test_cross_product_with_stable_names(self, tmp_path):
+        path = write_toml(tmp_path, """
+            [[scenario]]
+            name = "sweep"
+            [scenario.grid]
+            distance = [2.0, 3.0]
+            seed = [0, 1]
+        """)
+        config = load_config(path)
+        assert [s.name for s in config.scenarios] == [
+            "sweep/distance=2.0,seed=0",
+            "sweep/distance=2.0,seed=1",
+            "sweep/distance=3.0,seed=0",
+            "sweep/distance=3.0,seed=1",
+        ]
+        assert {s.distance for s in config.scenarios} == {2.0, 3.0}
+        assert {s.seed for s in config.scenarios} == {0, 1}
+
+    def test_grid_values_type_checked(self, tmp_path):
+        path = write_toml(tmp_path, """
+            [[scenario]]
+            name = "sweep"
+            [scenario.grid]
+            seed = ["zero"]
+        """)
+        with pytest.raises(ConfigError, match="grid.seed"):
+            load_config(path)
+
+    def test_name_is_not_sweepable(self, tmp_path):
+        path = write_toml(tmp_path, """
+            [[scenario]]
+            name = "sweep"
+            [scenario.grid]
+            name = ["a", "b"]
+        """)
+        with pytest.raises(ConfigError, match="not sweepable"):
+            load_config(path)
+
+    def test_duplicate_names_after_expansion_rejected(self, tmp_path):
+        path = write_toml(tmp_path, """
+            [[scenario]]
+            name = "cell"
+            [[scenario]]
+            name = "cell"
+        """)
+        with pytest.raises(ConfigError, match="duplicate scenario names"):
+            load_config(path)
+
+    def test_direct_construction_validates_too(self):
+        from repro.testbed import TestbedConfig
+
+        with pytest.raises(ConfigError, match="duplicate"):
+            TestbedConfig(
+                name="dup",
+                scenarios=(ScenarioSpec(name="a"), ScenarioSpec(name="a")),
+            )
+
+    def test_ci_matrix_config_loads(self):
+        """The committed CI workload must always parse."""
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[1]
+        config = load_config(repo / "benchmarks" / "scenarios_ci.toml")
+        assert config.name == "ci-robustness"
+        assert len(config.scenarios) >= 8
+        assert any(s.faults.any_active for s in config.scenarios)
+
+
+def test_parse_config_rejects_unknown_top_level():
+    with pytest.raises(ConfigError, match="unknown top-level"):
+        parse_config({"name": "x", "scenarios": []})

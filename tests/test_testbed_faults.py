@@ -1,0 +1,301 @@
+"""Unit tests for the fault-injection layer.
+
+The contracts the accuracy gate leans on:
+
+* rate-0 (or empty) injectors are identities,
+* a pipeline is bit-deterministic per seed,
+* ``FaultPipeline.from_spec`` composes in the documented canonical
+  order, equal to applying the injectors sequentially by hand,
+* counters account exactly for what each injector did.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rfid.reader import PhaseReport
+from repro.testbed import FaultPipeline, FaultSpec
+from repro.testbed.faults import (
+    _FAULT_DOMAIN,
+    BurstLossInjector,
+    DeadAntennaInjector,
+    DropInjector,
+    DuplicateInjector,
+    GhostEpcInjector,
+    NonFiniteInjector,
+    ReorderInjector,
+    StaleReplayInjector,
+    count_nonfinite,
+)
+
+EPC = "3" + "0" * 23
+
+
+def make_stream(n=200, antennas=(1, 2, 3, 4), span=4.0):
+    """A plausible single-tag stream: n reports round-robin on antennas."""
+    rng = np.random.default_rng(7)
+    reports = []
+    for index in range(n):
+        reports.append(
+            PhaseReport(
+                time=span * index / n,
+                epc_hex=EPC,
+                reader_id=1,
+                antenna_id=antennas[index % len(antennas)],
+                phase=float(rng.uniform(0.0, 2.0 * np.pi)),
+                rssi_dbm=-60.0,
+            )
+        )
+    return reports
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestRateZeroIdentity:
+    """Every rate-style injector at rate 0 returns the stream unchanged."""
+
+    @pytest.mark.parametrize("injector", [
+        DropInjector(0.0),
+        DuplicateInjector(0.0),
+        StaleReplayInjector(0.0, delay=0.5),
+        NonFiniteInjector(0.0),
+        ReorderInjector(0.0, max_shift=0.1),
+        DeadAntennaInjector(antenna_ids=()),
+        BurstLossInjector(start=99.0, duration=0.0),
+        GhostEpcInjector(count=0),
+    ])
+    def test_identity(self, injector):
+        stream = make_stream()
+        out = injector.apply(stream, rng())
+        assert out == stream
+        assert all(value == 0 for value in injector.counters.values())
+
+    def test_inert_spec_builds_empty_pipeline(self):
+        pipeline = FaultPipeline.from_spec(FaultSpec(), seed=0)
+        assert pipeline.injectors == []
+        stream = make_stream()
+        assert pipeline.inject(stream) == stream
+        assert pipeline.flat_counters() == {}
+
+    def test_inputs_never_mutated(self):
+        stream = make_stream(50)
+        snapshot = list(stream)
+        spec = FaultSpec(drop_rate=0.3, duplicate_rate=0.3,
+                         nonfinite_rate=0.3, reorder_rate=0.3)
+        FaultPipeline.from_spec(spec, seed=1).inject(stream)
+        assert stream == snapshot
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self):
+        spec = FaultSpec(
+            drop_rate=0.1, duplicate_rate=0.1, stale_replay_rate=0.05,
+            ghost_epcs=2, nonfinite_rate=0.05, reorder_rate=0.1,
+        )
+        stream = make_stream()
+        a = FaultPipeline.from_spec(spec, seed=3)
+        b = FaultPipeline.from_spec(spec, seed=3)
+        assert a.inject(stream) == b.inject(stream)
+        assert a.flat_counters() == b.flat_counters()
+
+    def test_reinject_reproduces(self):
+        """inject() re-derives RNGs: calling twice gives the same stream."""
+        spec = FaultSpec(drop_rate=0.2, ghost_epcs=1)
+        stream = make_stream()
+        pipeline = FaultPipeline.from_spec(spec, seed=5)
+        assert pipeline.inject(stream) == pipeline.inject(stream)
+
+    def test_different_seeds_differ(self):
+        spec = FaultSpec(drop_rate=0.3)
+        stream = make_stream()
+        out0 = FaultPipeline.from_spec(spec, seed=0).inject(stream)
+        out1 = FaultPipeline.from_spec(spec, seed=1).inject(stream)
+        assert out0 != out1
+
+    def test_rng_streams_independent_across_injectors(self):
+        """Raising the drop rate must not move which reports duplicate."""
+        stream = make_stream()
+
+        def duplicated_times(drop_rate):
+            spec = FaultSpec(drop_rate=drop_rate, duplicate_rate=0.2)
+            pipeline = FaultPipeline.from_spec(spec, seed=9)
+            out = pipeline.inject(stream)
+            times = [r.time for r in out]
+            return {t for t in times if times.count(t) > 1}
+
+        # Both rates are small enough that no report is actually dropped,
+        # so the duplicate injector sees the same survivors — and because
+        # its RNG stream is spawned independently of the drop injector's,
+        # changing the drop rate must not move the duplicated set.
+        low = duplicated_times(1e-9)
+        high = duplicated_times(1e-7)
+        assert low and low == high
+
+    def test_domain_tag_separates_from_sim_seeds(self):
+        """The testbed RNG domain differs from a raw seed sequence."""
+        a = np.random.SeedSequence([_FAULT_DOMAIN, 0]).generate_state(4)
+        b = np.random.SeedSequence([0]).generate_state(4)
+        assert not np.array_equal(a, b)
+
+
+class TestCompositionOrder:
+    def test_from_spec_canonical_order(self):
+        spec = FaultSpec(
+            drop_rate=0.1, burst_loss_start=1.0, burst_loss_duration=0.2,
+            dead_antennas=(2,), duplicate_rate=0.1, stale_replay_rate=0.1,
+            reorder_rate=0.1, nonfinite_rate=0.1, ghost_epcs=1,
+        )
+        pipeline = FaultPipeline.from_spec(spec, seed=0)
+        assert [type(i) for i in pipeline.injectors] == [
+            DeadAntennaInjector,
+            BurstLossInjector,
+            DropInjector,
+            DuplicateInjector,
+            StaleReplayInjector,
+            GhostEpcInjector,
+            NonFiniteInjector,
+            ReorderInjector,
+        ]
+
+    def test_pipeline_equals_sequential_application(self):
+        """Composed output == hand-chaining apply() with the same RNGs."""
+        spec = FaultSpec(drop_rate=0.15, nonfinite_rate=0.1, reorder_rate=0.1)
+        stream = make_stream()
+        pipeline = FaultPipeline.from_spec(spec, seed=11)
+        composed = pipeline.inject(stream)
+
+        manual = list(stream)
+        streams = np.random.SeedSequence([_FAULT_DOMAIN, 11]).spawn(3)
+        for injector, seed_stream in zip(
+            [DropInjector(0.15), NonFiniteInjector(0.1),
+             ReorderInjector(0.1, max_shift=spec.reorder_max_shift)],
+            streams,
+        ):
+            manual = injector.apply(manual, np.random.default_rng(seed_stream))
+        assert composed == manual
+
+    def test_reorder_last_shuffles_injected_traffic(self):
+        """Ghost reports are subject to reordering too (order contract)."""
+        spec = FaultSpec(ghost_epcs=2, reorder_rate=1.0, reorder_max_shift=0.5)
+        pipeline = FaultPipeline.from_spec(spec, seed=2)
+        out = pipeline.inject(make_stream())
+        ghost_epcs = {r.epc_hex for r in out} - {EPC}
+        assert len(ghost_epcs) == 2
+        times = [r.time for r in out]
+        assert times != sorted(times)  # arrival order genuinely shuffled
+
+
+class TestFaultSemantics:
+    def test_drop_counts_match(self):
+        injector = DropInjector(0.25)
+        stream = make_stream(400)
+        out = injector.apply(stream, rng())
+        assert len(out) + injector.counters["dropped"] == len(stream)
+        assert 40 < injector.counters["dropped"] < 160  # ~100 expected
+
+    def test_drop_everything(self):
+        injector = DropInjector(1.0)
+        assert injector.apply(make_stream(), rng()) == []
+
+    def test_burst_loss_window(self):
+        injector = BurstLossInjector(start=1.0, duration=0.5)
+        out = injector.apply(make_stream(span=4.0), rng())
+        assert all(not (1.0 <= r.time < 1.5) for r in out)
+        assert injector.counters["lost"] > 0
+
+    def test_dead_antenna_from_cutoff(self):
+        injector = DeadAntennaInjector(antenna_ids=(3,), dead_from=2.0)
+        out = injector.apply(make_stream(span=4.0), rng())
+        assert all(
+            not (r.antenna_id == 3 and r.time >= 2.0) for r in out
+        )
+        assert any(r.antenna_id == 3 for r in out)  # alive before cutoff
+
+    def test_duplicates_are_adjacent_equal_copies(self):
+        injector = DuplicateInjector(1.0)
+        stream = make_stream(20)
+        out = injector.apply(stream, rng())
+        assert len(out) == 40
+        assert out[0::2] == stream and out[1::2] == stream
+        assert injector.counters["duplicated"] == 20
+
+    def test_stale_replay_keeps_original_timestamp(self):
+        injector = StaleReplayInjector(rate=1.0, delay=0.5)
+        stream = make_stream(10, span=1.0)
+        out = injector.apply(stream, rng())
+        assert len(out) == 20
+        assert injector.counters["replayed"] == 10
+        # Replayed copies equal originals (stale stamp) but arrive late:
+        # the stream is no longer timestamp-sorted.
+        times = [r.time for r in out]
+        assert times != sorted(times)
+        assert sorted(times) == sorted([r.time for r in stream] * 2)
+
+    def test_ghosts_never_touch_real_reports(self):
+        injector = GhostEpcInjector(count=3, reports_each=5)
+        stream = make_stream()
+        out = injector.apply(stream, rng())
+        real = [r for r in out if r.epc_hex == EPC]
+        ghosts = [r for r in out if r.epc_hex != EPC]
+        assert real == stream
+        assert len(ghosts) == 15
+        assert len({r.epc_hex for r in ghosts}) == 3
+        assert injector.counters == {"ghosts": 3, "ghost_reports": 15}
+        # Ghost reports stay within the stream's time span and reuse
+        # its antennas.
+        span = (stream[0].time, max(r.time for r in stream))
+        assert all(span[0] <= r.time <= span[1] for r in ghosts)
+        assert {r.antenna_id for r in ghosts} <= {r.antenna_id for r in stream}
+
+    def test_nonfinite_corrupts_at_rate(self):
+        injector = NonFiniteInjector(1.0)
+        out = injector.apply(make_stream(30), rng())
+        assert count_nonfinite(out) == 30
+        assert injector.counters["corrupted"] == 30
+
+    def test_nonfinite_preserves_other_fields(self):
+        injector = NonFiniteInjector(1.0)
+        stream = make_stream(5)
+        out = injector.apply(stream, rng())
+        for original, corrupted in zip(stream, out):
+            assert corrupted.time == original.time
+            assert corrupted.epc_hex == original.epc_hex
+            assert corrupted.antenna_id == original.antenna_id
+
+    def test_reorder_keeps_multiset_and_timestamps(self):
+        injector = ReorderInjector(rate=0.5, max_shift=1.0)
+        stream = make_stream()
+        out = injector.apply(stream, rng())
+        assert out != stream  # order genuinely changed
+        assert sorted(r.time for r in out) == [r.time for r in stream]
+        assert injector.counters["reordered"] > 0
+
+    def test_empty_stream_everywhere(self):
+        spec = FaultSpec(
+            drop_rate=0.5, duplicate_rate=0.5, stale_replay_rate=0.5,
+            ghost_epcs=2, nonfinite_rate=0.5, reorder_rate=0.5,
+            burst_loss_start=0.0, burst_loss_duration=1.0,
+            dead_antennas=(1,),
+        )
+        assert FaultPipeline.from_spec(spec, seed=0).inject([]) == []
+
+
+class TestCounters:
+    def test_flat_counters_namespaced(self):
+        spec = FaultSpec(drop_rate=0.2, ghost_epcs=1, ghost_reports_each=4)
+        pipeline = FaultPipeline.from_spec(spec, seed=0)
+        pipeline.inject(make_stream())
+        flat = pipeline.flat_counters()
+        assert set(flat) == {
+            "drop.dropped", "ghost_epc.ghosts", "ghost_epc.ghost_reports",
+        }
+        assert flat["ghost_epc.ghosts"] == 1
+        assert flat["ghost_epc.ghost_reports"] == 4
+
+    def test_counters_reset_between_injections(self):
+        pipeline = FaultPipeline.from_spec(FaultSpec(drop_rate=0.3), seed=0)
+        pipeline.inject(make_stream())
+        first = pipeline.flat_counters()
+        pipeline.inject(make_stream())
+        assert pipeline.flat_counters() == first  # reset, not accumulated
