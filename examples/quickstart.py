@@ -57,6 +57,35 @@ Two families of knobs tune a long-running session:
   (each closing session releases its resampler/trace/report buffers),
   so a day-long stream's memory stays bounded.
 
+All of those tunables travel as one frozen value,
+:class:`repro.stream.SessionConfig`, accepted by every tier —
+``SessionManager(system, config=...)``, ``system.open_session(config=
+...)``, ``system.reconstruct_log(log, config=...)`` and the sharded
+``repro.serve.TrackingService`` — so "the production ingest policy" is
+a value you hand around, not a kwarg list to keep in sync. (The old
+loose keyword arguments still work, with a ``DeprecationWarning``.)::
+
+    from repro.stream import SessionConfig
+    config = SessionConfig(out_of_order="drop", prune_margin=4.0,
+                           idle_timeout=30.0)
+    manager = SessionManager(system, config=config)
+
+**The session event contract.** Everything a manager (or the sharded
+service) observes flows through one typed union of frozen events —
+``SessionStarted``, ``PointEmitted``, ``SessionFinalized``,
+``SessionEvicted``, all subclasses of ``SessionEvent`` — consumed
+identically from the manager callbacks (``on_point = ...``), from the
+events returned by ``ingest``/``ingest_burst``/``replay``, and from
+``TrackingService.events()``'s merged async stream (there in
+``detached()`` form: ``event.session is None`` across a process
+boundary, while ``epc_hex``/``point``/``result`` travel intact).
+Dispatch on ``isinstance(event, PointEmitted)`` or on the legacy
+``event.type is SessionEventType.POINT`` tag — both name the same
+event. Ordering guarantee: per EPC, events always arrive in lifecycle
+order (``STARTED``, its ``POINT`` s, then ``FINALIZED``/``EVICTED``);
+cross-EPC interleaving follows report order on a single manager and
+shard-arrival order on the service (see ``examples/tracking_service.py``).
+
 ``main`` below runs both entry points (streaming with pruning enabled)
 and checks they agree. Run it with::
 
@@ -145,8 +174,10 @@ def main() -> None:
     # --- the same thing, streamed report-by-report ---------------------------
     # prune_margin drops hopeless candidates mid-stream (cheaper steady
     # state); the chosen trajectory is provably still the batch one.
+    from repro.stream import SessionConfig
+
     session = system.open_session(
-        sample_rate=20.0, prune_margin=6.0, prune_burn_in=8
+        config=SessionConfig(sample_rate=20.0, prune_margin=6.0, prune_burn_in=8)
     )
     live_points = []
     for report in log.reports:  # stands in for the live reader loop

@@ -116,6 +116,26 @@ class PairBank:
     def ids(self) -> list[tuple[int, int]]:
         return [pair.ids for pair in self.pairs]
 
+    def geometry_key(self) -> tuple:
+        """Hashable key equal iff two banks share stacked geometry.
+
+        Two banks with equal keys have identical ``positions`` /
+        ``first_index`` / ``second_index`` arrays — exactly the
+        precondition :meth:`BatchedTracer.step_many` enforces for
+        merging trace states into one solve block (the scale check is
+        separate; see :attr:`TraceState.merge_key`). Used by
+        :func:`repro.core.pipeline.reconstruct_many` and the
+        multi-tag burst stepper
+        (:meth:`repro.stream.manager.SessionManager.ingest_burst`) to
+        group mergeable work without pairwise array comparisons.
+        """
+        return (
+            self.positions.shape,
+            self.positions.tobytes(),
+            self.first_index.tobytes(),
+            self.second_index.tobytes(),
+        )
+
     # ------------------------------------------------------------------
     # Geometry kernels
     # ------------------------------------------------------------------
@@ -424,6 +444,16 @@ class TraceState:
     @property
     def step_count(self) -> int:
         return len(self.positions)
+
+    @property
+    def merge_key(self) -> tuple:
+        """Hashable key: states with equal keys may share a
+        :meth:`BatchedTracer.step_many` solve block (same stacked pair
+        geometry, same ``round_trip/wavelength`` scale — the exact
+        precondition ``_require_mergeable`` enforces; planes may
+        differ)."""
+        workspace = self.workspace
+        return (float(workspace.scale), *workspace.bank.geometry_key())
 
     @property
     def candidate_count(self) -> int:

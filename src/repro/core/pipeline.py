@@ -139,7 +139,9 @@ class RFIDrawSystem:
             return self._reconstruct_with_reference_tracer(
                 series, candidate_count
             )
-        session = self.open_session(candidate_count=candidate_count)
+        from repro.stream.session import TrackingSession
+
+        session = TrackingSession(self, candidate_count=candidate_count)
         session.ingest_series(series)
         return session.finalize()
 
@@ -147,8 +149,9 @@ class RFIDrawSystem:
         self,
         log,
         epc_hex: str | None = None,
-        sample_rate: float = 20.0,
+        sample_rate: float | None = None,
         candidate_count: int | None = None,
+        config=None,
         **session_kwargs,
     ) -> ReconstructionResult:
         """Reconstruct straight from a raw measurement log.
@@ -159,35 +162,50 @@ class RFIDrawSystem:
         and finalizes — equivalent to building pair series and calling
         :meth:`reconstruct`, without the intermediate structure.
 
-        ``**session_kwargs`` reaches the session constructor — notably
+        Pass the session policy as ``config``
+        (:class:`repro.stream.SessionConfig`) — notably
         ``prune_margin``/``prune_burn_in`` (drop hopeless trace
         candidates mid-stream; the chosen trajectory is provably still
         the batch one, see :meth:`repro.core.engine.BatchedTracer.begin`)
         and ``out_of_order="drop"`` (survive stale or non-finite reports
-        from a flaky reader).
+        from a flaky reader). The old loose keyword arguments
+        (``sample_rate=``, ``candidate_count=``, ``**session_kwargs``)
+        keep working behind a :class:`DeprecationWarning`.
         """
         from repro.rfid.sampling import MeasurementLog
 
-        session = self.open_session(
-            epc_hex=epc_hex,
-            sample_rate=sample_rate,
-            candidate_count=candidate_count,
-            **session_kwargs,
-        )
+        legacy = dict(session_kwargs)
+        if sample_rate is not None:
+            legacy["sample_rate"] = sample_rate
+        if candidate_count is not None:
+            legacy["candidate_count"] = candidate_count
+        session = self.open_session(epc_hex=epc_hex, config=config, **legacy)
         reports = log.reports if isinstance(log, MeasurementLog) else log
         session.extend(reports)
         return session.finalize()
 
-    def open_session(self, **kwargs):
+    def open_session(self, config=None, **kwargs):
         """A fresh :class:`repro.stream.session.TrackingSession` over
-        this system's deployment, positioner and tracer. Keyword
-        arguments are forwarded to the session constructor —
-        ``prune_margin``/``prune_burn_in`` tune steady-state candidate
-        pruning, ``out_of_order`` the dirty-input policy,
-        ``retain_reports=False`` bounds memory on healthy streams."""
+        this system's deployment, positioner and tracer.
+
+        Pass the tunables as ``config``
+        (:class:`repro.stream.SessionConfig`) — ``prune_margin`` /
+        ``prune_burn_in`` tune steady-state candidate pruning,
+        ``out_of_order`` the dirty-input policy, ``retain_reports=False``
+        bounds memory on healthy streams. ``epc_hex=`` / ``pairs=``
+        (per-session identity, not policy) stay keyword arguments. The
+        old loose tunable keywords keep working behind a
+        :class:`DeprecationWarning`; the manager-level fields of a given
+        config (``idle_timeout`` etc.) are ignored here."""
+        from repro.stream.config import fold_legacy_kwargs
         from repro.stream.session import TrackingSession
 
-        return TrackingSession(self, **kwargs)
+        config, passthrough = fold_legacy_kwargs(
+            config, kwargs, "RFIDrawSystem.open_session"
+        )
+        return TrackingSession(
+            self, **config.session_kwargs(), **passthrough
+        )
 
     def _reconstruct_with_reference_tracer(
         self,
@@ -317,9 +335,7 @@ def reconstruct_many(
         config = tracer.config
         key = (
             type(tracer),
-            bank.positions.tobytes(),
-            bank.first_index.tobytes(),
-            bank.second_index.tobytes(),
+            *bank.geometry_key(),
             float(system.wavelength),
             float(system.round_trip),
             config.loss,

@@ -13,6 +13,7 @@ interchange formats:
 from repro.io.logs import (
     LogReadStats,
     iter_phase_log,
+    iter_phase_logs,
     load_phase_log,
     load_trajectory,
     save_phase_log,
@@ -22,6 +23,7 @@ from repro.io.logs import (
 __all__ = [
     "LogReadStats",
     "iter_phase_log",
+    "iter_phase_logs",
     "load_phase_log",
     "load_trajectory",
     "save_phase_log",

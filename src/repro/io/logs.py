@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 import csv
+import heapq
 import json
 from dataclasses import dataclass
+from operator import attrgetter
 from pathlib import Path
 
 import numpy as np
@@ -16,6 +18,7 @@ __all__ = [
     "LogReadStats",
     "save_phase_log",
     "iter_phase_log",
+    "iter_phase_logs",
     "load_phase_log",
     "save_trajectory",
     "load_trajectory",
@@ -111,6 +114,34 @@ def iter_phase_log(path, strict: bool = True, stats: LogReadStats | None = None)
                     stats.skipped_lines += 1
                 continue
             yield report
+
+
+def iter_phase_logs(
+    paths, strict: bool = True, stats: LogReadStats | None = None
+):
+    """Merge several JSONL phase logs into one time-ordered stream.
+
+    The multi-reader fan-in: each log must itself be timestamp-ordered
+    (readers record monotonically), and the merge yields the union in
+    global ``time`` order via a lazy :func:`heapq.merge` — constant
+    memory in the total recording size, one open handle per log. The
+    merged stream feeds :meth:`SessionManager.ingest
+    <repro.stream.manager.SessionManager.ingest>` or the sharded
+    :class:`repro.serve.TrackingService` exactly like a single log.
+
+    Ties across files keep the order of ``paths`` (heapq.merge is
+    stable), so a replay is deterministic for a fixed path list.
+
+    Args:
+        paths: the JSONL logs to merge (any iterable of paths).
+        strict / stats: per-line error policy, as
+            :func:`iter_phase_log` (the skip tally in ``stats`` is
+            shared across all files).
+    """
+    streams = [
+        iter_phase_log(path, strict=strict, stats=stats) for path in paths
+    ]
+    return heapq.merge(*streams, key=attrgetter("time"))
 
 
 def load_phase_log(

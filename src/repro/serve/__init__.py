@@ -1,0 +1,54 @@
+"""The service tier: sharded, async, multi-tenant tag tracking.
+
+RF-IDraw's multi-user story at deployment scale — one merged reader
+stream carrying dozens of concurrent writers, running for a whole day —
+needs more than one Python process's worth of solver throughput. This
+subpackage scales the streaming stack across CPU cores without changing
+a single computed value:
+
+* :mod:`~repro.serve.sharding` — deterministic CRC-32 EPC routing;
+  every tag's lifetime lives on exactly one shard.
+* :mod:`~repro.serve.worker` — the shard process: one
+  :class:`~repro.stream.manager.SessionManager` advancing all its warm
+  tags per burst through merged
+  :meth:`~repro.core.engine.BatchedTracer.step_many` solves.
+* :mod:`~repro.serve.service` — :class:`TrackingService`, the asyncio
+  front: backpressured ingest, a merged lifecycle event stream, clean
+  drain; plus the synchronous :func:`serve_reports` / :func:`replay_log`
+  façades.
+* :mod:`~repro.serve.workload` — the deterministic synthetic fleet the
+  benches, tests and demo CLI share.
+
+Per EPC, trajectories/results/events are **bit-identical** to a single
+:class:`SessionManager` fed the same stream (the shard-determinism
+suite pins this down, clean and under fault injection); only cross-EPC
+event interleaving differs, as documented on
+:meth:`TrackingService.events`.
+
+``python -m repro.serve --help`` runs recorded logs (or the demo fleet)
+through the service from the command line.
+"""
+
+from repro.serve.service import (
+    ServiceReplay,
+    ServiceResult,
+    ShardError,
+    TrackingService,
+    replay_log,
+    serve_reports,
+)
+from repro.serve.sharding import shard_for, split_burst
+from repro.serve.workload import fleet_system, synthetic_fleet
+
+__all__ = [
+    "ServiceReplay",
+    "ServiceResult",
+    "ShardError",
+    "TrackingService",
+    "fleet_system",
+    "replay_log",
+    "serve_reports",
+    "shard_for",
+    "split_burst",
+    "synthetic_fleet",
+]

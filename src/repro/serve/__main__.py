@@ -1,0 +1,201 @@
+"""CLI for the sharded tracking service.
+
+Replay recorded JSONL phase logs (several logs merge time-ordered, the
+multi-reader fan-in) through :class:`repro.serve.TrackingService`::
+
+    python -m repro.serve replay session1.jsonl session2.jsonl \\
+        --shards 4 --out-of-order drop --idle-timeout 30
+
+or run the built-in synthetic fleet as a smoke/soak workload::
+
+    python -m repro.serve demo --tags 24 --shards 2
+
+Both print one line per tracked tag plus the merged manager stats and
+the measured ingest throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.serve.service import replay_log, serve_reports
+from repro.serve.workload import fleet_system, synthetic_fleet
+from repro.stream.config import SessionConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Sharded multi-tenant tracking service",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--shards", type=int, default=1,
+            help="worker process count (default 1)",
+        )
+        p.add_argument(
+            "--burst-size", type=int, default=256,
+            help="reports per shard burst (default 256)",
+        )
+        p.add_argument(
+            "--sample-rate", type=float, default=20.0,
+            help="session resample rate in Hz (default 20)",
+        )
+        p.add_argument(
+            "--out-of-order", choices=("raise", "drop"), default="drop",
+            help="stale/non-finite report policy (default drop)",
+        )
+        p.add_argument(
+            "--idle-timeout", type=float, default=None,
+            help="auto-finalize tags idle this many report-seconds",
+        )
+        p.add_argument(
+            "--max-sessions", type=int, default=None,
+            help="open-session cap per shard (LRU eviction)",
+        )
+        p.add_argument(
+            "--prune-margin", type=float, default=None,
+            help="steady-state candidate pruning margin",
+        )
+        p.add_argument(
+            "--wavelength", type=float, default=0.326,
+            help="carrier wavelength in meters (default 0.326)",
+        )
+        p.add_argument(
+            "--plane-distance", type=float, default=2.0,
+            help="writing plane distance in meters (default 2.0)",
+        )
+        p.add_argument(
+            "--points", action="store_true",
+            help="ship per-sample POINT events back from the shards",
+        )
+        p.add_argument(
+            "--json", action="store_true",
+            help="print a machine-readable JSON summary instead",
+        )
+
+    replay = sub.add_parser(
+        "replay", help="replay recorded JSONL phase log(s)"
+    )
+    replay.add_argument("logs", nargs="+", help="JSONL phase logs to merge")
+    replay.add_argument(
+        "--lenient", action="store_true",
+        help="skip malformed log lines instead of failing",
+    )
+    common(replay)
+
+    demo = sub.add_parser(
+        "demo", help="run the synthetic multi-tag fleet workload"
+    )
+    demo.add_argument(
+        "--tags", type=int, default=24, help="concurrent tags (default 24)"
+    )
+    demo.add_argument(
+        "--active-span", type=float, default=0.6,
+        help="seconds each tag keeps reporting (default 0.6)",
+    )
+    common(demo)
+    return parser
+
+
+def _config(args: argparse.Namespace) -> SessionConfig:
+    return SessionConfig(
+        sample_rate=args.sample_rate,
+        out_of_order=args.out_of_order,
+        idle_timeout=args.idle_timeout,
+        max_sessions=args.max_sessions,
+        prune_margin=args.prune_margin,
+    )
+
+
+def _summarize(replay, report_count: int, elapsed: float, args) -> int:
+    rows = [
+        {
+            "epc_hex": epc,
+            "points": int(len(result.times)),
+            "start": float(result.times[0]) if len(result.times) else None,
+            "end": float(result.times[-1]) if len(result.times) else None,
+        }
+        for epc, result in sorted(replay.results.items())
+    ]
+    throughput = report_count / elapsed if elapsed > 0 else float("nan")
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "shards": args.shards,
+                    "reports": report_count,
+                    "elapsed_s": elapsed,
+                    "reports_per_sec": throughput,
+                    "tags": rows,
+                    "failures": replay.failures,
+                    "stats": replay.stats.as_dict(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    for row in rows:
+        print(
+            f"{row['epc_hex']}  {row['points']:6d} points"
+            + (
+                f"  [{row['start']:.3f}s – {row['end']:.3f}s]"
+                if row["points"]
+                else ""
+            )
+        )
+    for epc, error in sorted(replay.failures.items()):
+        print(f"{epc}  FAILED: {error}", file=sys.stderr)
+    stats = replay.stats.as_dict()
+    print(
+        f"-- {report_count} reports, {len(rows)} tags, "
+        f"{args.shards} shard(s): {elapsed:.2f}s "
+        f"({throughput:,.0f} reports/s)"
+    )
+    print(
+        "-- stats: "
+        + ", ".join(f"{k}={v}" for k, v in stats.items() if v)
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    config = _config(args)
+    kwargs = dict(
+        shards=args.shards,
+        config=config,
+        burst_size=args.burst_size,
+        emit_points=args.points,
+        collect_events=False,
+    )
+    if args.command == "replay":
+        start = time.perf_counter()
+        replay = replay_log(
+            fleet_system(args.wavelength, args.plane_distance),
+            args.logs,
+            strict=not args.lenient,
+            **kwargs,
+        )
+        elapsed = time.perf_counter() - start
+        return _summarize(
+            replay, replay.stats.ingested_reports, elapsed, args
+        )
+    system = fleet_system(args.wavelength, args.plane_distance)
+    reports = synthetic_fleet(
+        system, tags=args.tags, active_span=args.active_span
+    )
+    start = time.perf_counter()
+    replay = serve_reports(system, reports, **kwargs)
+    elapsed = time.perf_counter() - start
+    return _summarize(replay, len(reports), elapsed, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,107 @@
+"""The shard worker: one process, one ``SessionManager``, one pipe.
+
+Each shard of the :class:`~repro.serve.service.TrackingService` runs
+:func:`run_shard` in its own process. The loop is deliberately dumb —
+the coordinator owns all policy (routing, backpressure, ordering); the
+worker just applies bursts to its manager and ships back what happened.
+
+Wire protocol (tuples over a ``multiprocessing`` duplex pipe, worker
+point of view)::
+
+    recv ("burst", seq, [PhaseReport, ...])
+    send ("events", seq, [SessionEvent.detached(), ...])
+
+    recv ("drain",)
+    send ("events", None, [...])            # finalize-time events
+    send ("drained", shard, results, stats, failures)
+    # then the worker exits — a service is one drain cycle
+
+    recv ("stop",)                          # abandon without draining
+
+    send ("error", shard, traceback_text)   # any unhandled exception
+
+Every burst is acknowledged by exactly one ``events`` reply carrying a
+``seq`` — that ack is the coordinator's backpressure token, so it is
+sent even when the burst produced no events. Events cross the pipe in
+:meth:`~repro.stream.manager.SessionEvent.detached` form (no live
+session object); with ``emit_points=False`` the per-sample ``POINT``
+events stay in the worker and only lifecycle edges are shipped, which
+is how the bench and the testbed accuracy path avoid paying pickle
+costs for data they do not read.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+from repro.stream.config import SessionConfig
+from repro.stream.manager import SessionManager
+
+__all__ = ["run_shard"]
+
+
+def run_shard(
+    conn,
+    system,
+    config: SessionConfig | None,
+    shard: int,
+    emit_points: bool = True,
+) -> None:
+    """Process entry point: serve one shard until drained or stopped.
+
+    Args:
+        conn: the worker end of the duplex pipe.
+        system: the shared :class:`~repro.core.pipeline.RFIDrawSystem`
+            (inherited copy-on-write under the ``fork`` start method,
+            pickled under ``spawn``).
+        config: the session/eviction policy — the *same*
+            :class:`SessionConfig` value on every shard, so per-shard
+            behavior matches a single manager run on the sub-stream.
+        shard: this worker's index, echoed in replies.
+        emit_points: ship per-sample ``POINT`` events across the pipe.
+    """
+    manager = SessionManager(system, config=config)
+    outbox: list = []
+    manager.on_session_started = lambda e: outbox.append(e.detached())
+    manager.on_session_finalized = lambda e: outbox.append(e.detached())
+    manager.on_session_evicted = lambda e: outbox.append(e.detached())
+    if emit_points:
+        manager.on_point = lambda e: outbox.append(e.detached())
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "burst":
+                _, seq, reports = message
+                manager.ingest_burst(reports)
+                conn.send(("events", seq, outbox))
+                outbox = []
+            elif kind == "drain":
+                results = manager.finalize_all()
+                # Exceptions do not always unpickle faithfully; ship
+                # the rendered failure instead of the object.
+                failures = {
+                    epc: "".join(
+                        traceback.format_exception_only(type(err), err)
+                    ).strip()
+                    for epc, err in manager.failures.items()
+                }
+                conn.send(("events", None, outbox))
+                outbox = []
+                conn.send(
+                    ("drained", shard, results, manager.stats(), failures)
+                )
+                return
+            elif kind == "stop":
+                return
+            else:  # a protocol bug, not data — fail loudly
+                raise ValueError(f"unknown shard message {kind!r}")
+    except EOFError:
+        return  # coordinator went away; nothing to report to
+    except Exception:
+        try:
+            conn.send(("error", shard, traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()

@@ -26,12 +26,17 @@ this subsystem (feed everything, finalize), so streaming and batch can
 never drift apart.
 """
 
+from repro.stream.config import SessionConfig, fold_legacy_kwargs
 from repro.stream.manager import (
     ManagerStats,
+    PointEmitted,
     ReplayResult,
     SessionEvent,
     SessionEventType,
+    SessionEvicted,
+    SessionFinalized,
     SessionManager,
+    SessionStarted,
 )
 from repro.stream.resampler import PairSample, StreamResampler
 from repro.stream.session import SessionState, TrackingSession, TrajectoryPoint
@@ -39,12 +44,18 @@ from repro.stream.session import SessionState, TrackingSession, TrajectoryPoint
 __all__ = [
     "ManagerStats",
     "PairSample",
+    "PointEmitted",
     "ReplayResult",
+    "SessionConfig",
     "SessionEvent",
     "SessionEventType",
+    "SessionEvicted",
+    "SessionFinalized",
     "SessionManager",
+    "SessionStarted",
     "SessionState",
     "StreamResampler",
     "TrackingSession",
     "TrajectoryPoint",
+    "fold_legacy_kwargs",
 ]

@@ -1,0 +1,161 @@
+"""One session-config surface for every tier of the tracking stack.
+
+Before this existed, the same tunables were spelled as loose keyword
+arguments in three places — ``TrackingSession(...)`` /
+``SessionManager(..., **session_kwargs)``, ``RFIDrawSystem.open_session``
+and ``RFIDrawSystem.reconstruct_log`` — which meant three slightly
+different defaults to keep in sync and no way to hand "the production
+ingest policy" around as a value. :class:`SessionConfig` folds them into
+one frozen, validated dataclass accepted by all three tiers (and by the
+sharded :class:`repro.serve.TrackingService`, which must ship the exact
+same policy to every worker process):
+
+    config = SessionConfig(out_of_order="drop", prune_margin=4.0,
+                           idle_timeout=30.0, retain_results=256)
+    manager = SessionManager(system, config=config)
+    session = system.open_session(config=config)
+    result = system.reconstruct_log(log, config=config)
+
+The old keyword arguments keep working through a deprecation shim
+(:func:`fold_legacy_kwargs`) so existing callers migrate on their own
+schedule; passing both a config and legacy keywords is an error rather
+than a silent merge.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+
+__all__ = ["SessionConfig", "CONFIG_FIELDS", "fold_legacy_kwargs"]
+
+#: Fields forwarded to the ``TrackingSession`` constructor (the rest are
+#: manager-level policy the session never sees).
+_SESSION_FIELDS = (
+    "sample_rate",
+    "min_reads_per_antenna",
+    "candidate_count",
+    "out_of_order",
+    "retain_reports",
+    "prune_margin",
+    "prune_burn_in",
+)
+_MANAGER_FIELDS = ("idle_timeout", "max_sessions", "retain_results")
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Every tracking-session and manager tunable, as one frozen value.
+
+    Per-session knobs (see :class:`repro.stream.session.TrackingSession`
+    for the full semantics of each):
+
+    Attributes:
+        sample_rate: shared resample timeline rate in Hz.
+        min_reads_per_antenna: the batch dead-antenna threshold.
+        candidate_count: how many initial candidates to trace (``None``:
+            the positioner's configured count).
+        out_of_order: ``"raise"`` (strict) or ``"drop"`` (robust ingest:
+            stale arrivals and non-finite phases are counted + skipped).
+        retain_reports: keep raw reports for the degenerate-stream batch
+            fallback; disable for bounded memory on healthy streams.
+        prune_margin: steady-state candidate pruning margin (``None``
+            disables pruning; any positive value is winner-preserving).
+        prune_burn_in: steps before pruning may begin.
+
+    Manager/service-level policy (see
+    :class:`repro.stream.manager.SessionManager`):
+
+    Attributes:
+        idle_timeout: auto-finalize a tag silent for this many *report*
+            seconds behind the stream frontier (``None``: never).
+        max_sessions: cap on concurrently open sessions (LRU eviction;
+            per shard when used with :class:`repro.serve.TrackingService`).
+        retain_results: cap on retained closed-session history.
+    """
+
+    sample_rate: float = 20.0
+    min_reads_per_antenna: int = 4
+    candidate_count: int | None = None
+    out_of_order: str = "raise"
+    retain_reports: bool = True
+    prune_margin: float | None = None
+    prune_burn_in: int = 8
+    idle_timeout: float | None = None
+    max_sessions: int | None = None
+    retain_results: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.sample_rate > 0:
+            raise ValueError("sample_rate must be positive")
+        if int(self.min_reads_per_antenna) < 1:
+            raise ValueError("min_reads_per_antenna must be at least 1")
+        if self.candidate_count is not None and int(self.candidate_count) < 1:
+            raise ValueError("candidate_count must be at least 1")
+        if self.out_of_order not in ("raise", "drop"):
+            raise ValueError('out_of_order must be "raise" or "drop"')
+        if self.prune_margin is not None and not float(self.prune_margin) > 0:
+            raise ValueError("prune_margin must be positive")
+        if int(self.prune_burn_in) < 1:
+            raise ValueError("prune_burn_in must be at least 1")
+        if self.idle_timeout is not None and not self.idle_timeout > 0:
+            raise ValueError("idle_timeout must be positive")
+        if self.max_sessions is not None and self.max_sessions < 1:
+            raise ValueError("max_sessions must allow at least one session")
+        if self.retain_results is not None and self.retain_results < 0:
+            raise ValueError("retain_results must be non-negative")
+
+    def session_kwargs(self) -> dict:
+        """The per-session subset, as ``TrackingSession`` keywords."""
+        return {name: getattr(self, name) for name in _SESSION_FIELDS}
+
+    def with_updates(self, **changes) -> "SessionConfig":
+        """A copy with the given fields replaced (re-validated)."""
+        return replace(self, **changes)
+
+
+#: Every :class:`SessionConfig` field name — facades that accept mixed
+#: keyword arguments use this to split tunables from passthrough keys.
+CONFIG_FIELDS = frozenset(f.name for f in fields(SessionConfig))
+
+
+def fold_legacy_kwargs(
+    config: SessionConfig | None,
+    legacy: dict,
+    owner: str,
+) -> tuple[SessionConfig, dict]:
+    """Resolve ``config=`` vs. old-style keyword arguments.
+
+    Args:
+        config: the explicit :class:`SessionConfig`, if any.
+        legacy: keyword arguments the caller passed the old way; known
+            :class:`SessionConfig` fields are folded into the returned
+            config (with a :class:`DeprecationWarning`), unknown keys
+            are returned untouched for the callee to forward (e.g.
+            ``pairs=`` / ``epc_hex=`` on a session constructor).
+        owner: the API being called, for the warning/error text.
+
+    Returns:
+        ``(effective_config, passthrough_kwargs)``.
+
+    Raises:
+        ValueError: both a config and legacy tunables were given — an
+            ambiguous merge this shim refuses to guess about.
+    """
+    tunables = {k: v for k, v in legacy.items() if k in CONFIG_FIELDS}
+    passthrough = {k: v for k, v in legacy.items() if k not in CONFIG_FIELDS}
+    if not tunables:
+        return config if config is not None else SessionConfig(), passthrough
+    if config is not None:
+        raise ValueError(
+            f"{owner}: pass tunables inside config=SessionConfig(...), "
+            "not alongside it (got both config= and "
+            + ", ".join(sorted(tunables)) + ")"
+        )
+    warnings.warn(
+        f"{owner}: passing {', '.join(sorted(tunables))} as loose keyword "
+        "arguments is deprecated; pass config=SessionConfig(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return SessionConfig(**tunables), passthrough

@@ -43,14 +43,23 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.core.pipeline import ReconstructionResult, RFIDrawSystem
+from repro.stream.config import SessionConfig, fold_legacy_kwargs
 from repro.rfid.reader import PhaseReport
-from repro.stream.session import TrackingSession, TrajectoryPoint
+from repro.stream.session import (
+    SessionState,
+    TrackingSession,
+    TrajectoryPoint,
+)
 
 __all__ = [
     "ManagerStats",
     "ReplayResult",
     "SessionEventType",
     "SessionEvent",
+    "SessionStarted",
+    "PointEmitted",
+    "SessionFinalized",
+    "SessionEvicted",
     "SessionManager",
 ]
 
@@ -68,10 +77,22 @@ class SessionEventType(enum.Enum):
 class SessionEvent:
     """One lifecycle event of one tag's session.
 
+    Every event the manager fires is one of the four frozen subclasses
+    below — :class:`SessionStarted`, :class:`PointEmitted`,
+    :class:`SessionFinalized`, :class:`SessionEvicted` — so consumers
+    may dispatch on ``isinstance`` instead of :attr:`type`; the
+    :attr:`type` tag stays for existing code and for wire-format
+    symmetry. The same union flows through ``SessionManager`` callbacks,
+    :meth:`SessionManager.replay`, and the sharded
+    :class:`repro.serve.TrackingService`'s merged event stream
+    (there in :meth:`detached` form, since sessions live in the worker
+    process).
+
     Attributes:
         type: which lifecycle edge fired.
         epc_hex: the tag.
-        session: the session the event belongs to.
+        session: the session the event belongs to (``None`` on events
+            shipped across a process boundary — see :meth:`detached`).
         point: the emitted point (``POINT`` events only).
         result: the final reconstruction (``FINALIZED`` and ``EVICTED``
             events; ``None`` on an ``EVICTED`` event whose finalize
@@ -80,9 +101,66 @@ class SessionEvent:
 
     type: SessionEventType
     epc_hex: str
-    session: TrackingSession
+    session: TrackingSession | None
     point: TrajectoryPoint | None = None
     result: ReconstructionResult | None = None
+
+    def detached(self) -> "SessionEvent":
+        """A copy without the live session reference.
+
+        The wire form: points and results pickle cleanly across a
+        process boundary, the session object (resampler buffers, trace
+        state, a reference to the whole system) does not belong on one.
+        """
+        if type(self) is SessionEvent:
+            return dataclasses.replace(self, session=None)
+        return type(self)(
+            epc_hex=self.epc_hex,
+            session=None,
+            point=self.point,
+            result=self.result,
+        )
+
+
+class _TypedSessionEvent(SessionEvent):
+    """Shared constructor for the typed subclasses: the lifecycle tag is
+    fixed per class, so callers never repeat it."""
+
+    _TYPE: SessionEventType
+
+    def __init__(
+        self,
+        epc_hex: str,
+        session: TrackingSession | None,
+        point: TrajectoryPoint | None = None,
+        result: ReconstructionResult | None = None,
+    ) -> None:
+        super().__init__(self._TYPE, epc_hex, session, point, result)
+
+
+class SessionStarted(_TypedSessionEvent):
+    """A newly seen EPC opened a session."""
+
+    _TYPE = SessionEventType.STARTED
+
+
+class PointEmitted(_TypedSessionEvent):
+    """A session emitted one live :class:`TrajectoryPoint`."""
+
+    _TYPE = SessionEventType.POINT
+
+
+class SessionFinalized(_TypedSessionEvent):
+    """A session closed with a :class:`ReconstructionResult`."""
+
+    _TYPE = SessionEventType.FINALIZED
+
+
+class SessionEvicted(_TypedSessionEvent):
+    """The eviction policy closed a session (after its ``FINALIZED``
+    event when the finalize succeeded; ``result=None`` when it failed)."""
+
+    _TYPE = SessionEventType.EVICTED
 
 
 @dataclass(frozen=True)
@@ -135,6 +213,32 @@ class ManagerStats:
     def as_dict(self) -> dict:
         """Plain-dict form (JSON-ready, e.g. for score tables)."""
         return dataclasses.asdict(self)
+
+    def merge(self, other: "ManagerStats") -> "ManagerStats":
+        """Sum two snapshots counter by counter.
+
+        Built for sharded aggregation
+        (:class:`repro.serve.TrackingService` merges one snapshot per
+        worker): every integer counter adds, and the :attr:`injected`
+        fault tallies add *per key over the union of keys* — a fault
+        type recorded by only one shard must survive the merge instead
+        of being silently dropped.
+        """
+        if not isinstance(other, ManagerStats):
+            return NotImplemented
+        counters = {}
+        for spec in dataclasses.fields(ManagerStats):
+            if spec.name == "injected":
+                continue
+            counters[spec.name] = getattr(self, spec.name) + getattr(
+                other, spec.name
+            )
+        injected = dict(self.injected)
+        for key, value in other.injected.items():
+            injected[key] = injected.get(key, 0) + value
+        return ManagerStats(injected=injected, **counters)
+
+    __add__ = merge
 
 
 class ReplayResult(dict):
@@ -207,32 +311,44 @@ class SessionManager:
         self,
         system: RFIDrawSystem,
         session_factory: Callable[[str], TrackingSession] | None = None,
+        config: SessionConfig | None = None,
         idle_timeout: float | None = None,
         max_sessions: int | None = None,
         retain_results: int | None = None,
         **session_kwargs,
     ) -> None:
         self.system = system
+        legacy = dict(session_kwargs)
+        for name, value in (
+            ("idle_timeout", idle_timeout),
+            ("max_sessions", max_sessions),
+            ("retain_results", retain_results),
+        ):
+            if value is not None:
+                legacy[name] = value
+        config, passthrough = fold_legacy_kwargs(
+            config, legacy, "SessionManager"
+        )
         if session_factory is None:
             def session_factory(epc_hex: str) -> TrackingSession:
                 return TrackingSession(
-                    system, epc_hex=epc_hex, **session_kwargs
+                    system,
+                    epc_hex=epc_hex,
+                    **self.config.session_kwargs(),
+                    **passthrough,
                 )
-        elif session_kwargs:
+        elif session_kwargs or config.session_kwargs() != (
+            SessionConfig().session_kwargs()
+        ):
             raise ValueError(
                 "pass tunables through the custom session_factory, "
                 "not alongside it"
             )
-        if idle_timeout is not None and not idle_timeout > 0:
-            raise ValueError("idle_timeout must be positive")
-        if max_sessions is not None and max_sessions < 1:
-            raise ValueError("max_sessions must allow at least one session")
-        if retain_results is not None and retain_results < 0:
-            raise ValueError("retain_results must be non-negative")
+        self.config = config
         self.session_factory = session_factory
-        self.idle_timeout = idle_timeout
-        self.max_sessions = max_sessions
-        self.retain_results = retain_results
+        self.idle_timeout = config.idle_timeout
+        self.max_sessions = config.max_sessions
+        self.retain_results = config.retain_results
         # Closed EPCs (finalized, or ghost-evicted with a failed
         # finalize) in close order — the shed queue when a
         # retain_results cap is set.
@@ -280,8 +396,7 @@ class SessionManager:
             self.sessions[epc_hex] = session
             self._open[epc_hex] = None
             self._fire(
-                self.on_session_started,
-                SessionEvent(SessionEventType.STARTED, epc_hex, session),
+                self.on_session_started, SessionStarted(epc_hex, session)
             )
         return session
 
@@ -323,12 +438,152 @@ class SessionManager:
         if previous is None or report.time > previous:
             self.last_report_time[epc] = report.time
         for point in session.ingest(report):
-            event = SessionEvent(
-                SessionEventType.POINT, epc, session, point=point
-            )
+            event = PointEmitted(epc, session, point=point)
             self._fire(self.on_point, event)
             events.append(event)
         return events
+
+    def ingest_burst(self, reports: Iterable[PhaseReport]) -> list[SessionEvent]:
+        """Route a burst of reports, advancing all tags in merged engine calls.
+
+        Semantically :meth:`ingest` in a loop — same routing, straggler
+        accounting, frontier sweep and eviction per report, and
+        **bit-identical per-tag points and results** — but the tracer
+        work is batched: the timeline samples each report unlocks are
+        collected per session, then advanced in aligned rounds where
+        every warm session's next sample joins a single
+        ``(Σtags·C, 2)`` :meth:`repro.core.engine.BatchedTracer.step_many`
+        solve (grouped by pair geometry, so heterogeneous session
+        factories still work). With many concurrently warm tags this
+        amortizes the per-step numpy dispatch across the whole fleet —
+        the hot loop of the sharded :class:`repro.serve.TrackingService`.
+
+        Ordering contract: per tag, ``POINT`` events keep exactly the
+        order :meth:`ingest` would emit; *across* tags the burst emits
+        eviction events at their routing positions first, then points
+        in round-robin (sample-round) order rather than report order.
+        A session evicted mid-burst has its collected samples applied
+        (sequentially) before its ``FINALIZED``/``EVICTED`` events fire,
+        so no point is lost or reordered against its own lifecycle.
+
+        Returns:
+            The produced events (``EVICTED`` + ``POINT``; ``STARTED``
+            and ``FINALIZED`` fire through their callbacks, as in
+            :meth:`ingest`).
+        """
+        events: list[SessionEvent] = []
+        pending: dict[str, list] = {}
+
+        def flush(epc: str) -> None:
+            # A tag leaving the burst early (evicted to honor policy)
+            # applies its collected samples one by one — the sequential
+            # path, bit-identical to the merged one — so its history is
+            # complete before finalize.
+            samples = pending.pop(epc, None)
+            if not samples:
+                return
+            session = self.sessions[epc]
+            for sample in samples:
+                point = session._on_sample(sample)
+                event = PointEmitted(epc, session, point=point)
+                self._fire(self.on_point, event)
+                events.append(event)
+
+        try:
+            for report in reports:
+                self.ingested_reports += 1
+                if (
+                    self.idle_timeout is not None
+                    and report.time > self._frontier
+                ):
+                    self._frontier = report.time
+                    cutoff = self._frontier - self.idle_timeout
+                    stale = [
+                        epc
+                        for epc in self.open_epcs()
+                        if epc in self.last_report_time
+                        and self.last_report_time[epc] < cutoff
+                    ]
+                    for epc in stale:
+                        flush(epc)
+                        events.append(self.evict(epc))
+                epc = report.epc_hex
+                session = self.sessions.get(epc)
+                if session is None:
+                    if self.max_sessions is not None:
+                        while True:
+                            open_epcs = self.open_epcs()
+                            if len(open_epcs) < self.max_sessions:
+                                break
+                            oldest = min(
+                                open_epcs,
+                                key=lambda e: self.last_report_time.get(
+                                    e, float("-inf")
+                                ),
+                            )
+                            flush(oldest)
+                            events.append(self.evict(oldest))
+                    session = self.session_for(epc)
+                if epc in self._closed or session.result is not None:
+                    self.stragglers += 1
+                    continue
+                previous = self.last_report_time.get(epc)
+                if previous is None or report.time > previous:
+                    self.last_report_time[epc] = report.time
+                samples = session._prepare(report)
+                if samples:
+                    pending.setdefault(epc, []).extend(samples)
+        finally:
+            # Advance whatever was collected even if routing raised
+            # (strict out-of-order policy): a sample the resampler
+            # emitted must reach the tracer or the session would be
+            # permanently out of sync — mirroring how the sequential
+            # path fully applies every report before the failing one.
+            self._advance_pending(pending, events)
+        return events
+
+    def _advance_pending(
+        self, pending: dict[str, list], events: list[SessionEvent]
+    ) -> None:
+        """Advance per-session sample queues in merged aligned rounds."""
+        round_index = 0
+        while pending:
+            batch = []
+            for epc in list(pending):
+                samples = pending[epc]
+                if round_index < len(samples):
+                    batch.append((epc, self.sessions[epc], samples[round_index]))
+                else:
+                    del pending[epc]
+            if not batch:
+                break
+            # Group mergeable trace states (same tracer, same stacked
+            # pair geometry and scale); warm-up instants run the
+            # positioner per session first, exactly like sequential
+            # ingest, which also gives the state its merge key.
+            groups: dict[tuple, tuple] = {}
+            for item in batch:
+                _, session, sample = item
+                if session.state is SessionState.WARMING:
+                    session._warm_up(sample)
+                tracer = session.system.tracer
+                key = (id(tracer), session._trace_state.merge_key)
+                groups.setdefault(key, (tracer, []))[1].append(item)
+            for tracer, items in groups.values():
+                outputs = tracer.step_many(
+                    [
+                        (session._trace_state, sample.delta_phi)
+                        for _, session, sample in items
+                    ]
+                )
+                for (epc, session, sample), (positions, votes) in zip(
+                    items, outputs
+                ):
+                    point = session._emit_point(sample, positions, votes)
+                    event = PointEmitted(epc, session, point=point)
+                    self._fire(self.on_point, event)
+                    events.append(event)
+            round_index += 1
 
     # ------------------------------------------------------------------
     # Eviction
@@ -376,9 +631,7 @@ class SessionManager:
                 # not grow the manager forever.
                 self._closed_order.append(epc_hex)
                 self._shed_closed()
-        event = SessionEvent(
-            SessionEventType.EVICTED, epc_hex, session, result=result
-        )
+        event = SessionEvicted(epc_hex, session, result=result)
         self._fire(self.on_session_evicted, event)
         return event
 
@@ -430,9 +683,7 @@ class SessionManager:
         if not already:
             self._fire(
                 self.on_session_finalized,
-                SessionEvent(
-                    SessionEventType.FINALIZED, epc_hex, session, result=result
-                ),
+                SessionFinalized(epc_hex, session, result=result),
             )
             if self.retain_results is not None:
                 session.release()

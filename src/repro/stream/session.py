@@ -212,6 +212,21 @@ class TrackingSession:
     # ------------------------------------------------------------------
     def ingest(self, report: PhaseReport) -> list[TrajectoryPoint]:
         """Fold one phase report in; return any newly emitted points."""
+        return [self._on_sample(sample) for sample in self._prepare(report)]
+
+    def _prepare(self, report: PhaseReport) -> list[PairSample]:
+        """Route one report into the resampler; return the finalized samples.
+
+        The front half of :meth:`ingest` — validation, EPC pinning,
+        incremental unwrap/interpolation, raw-report retention —
+        *without* advancing the tracer. :meth:`ingest` steps each
+        returned sample immediately;
+        :meth:`repro.stream.manager.SessionManager.ingest_burst` instead
+        collects the samples of many sessions and advances them in one
+        merged engine call. Both paths produce bit-identical points
+        because the step arithmetic is row-separable
+        (:meth:`repro.core.engine.BatchedTracer.step_many`).
+        """
         if self.state is SessionState.FINALIZED:
             raise ValueError("cannot ingest into a finalized session")
         if self._series_mode:
@@ -239,10 +254,7 @@ class TrackingSession:
         # exception: they are not data and would poison the fallback.
         if self.retain_reports and math.isfinite(report.phase):
             self._reports.append(report)
-        emitted: list[TrajectoryPoint] = []
-        for sample in samples:
-            emitted.append(self._on_sample(sample))
-        return emitted
+        return samples
 
     def extend(self, reports) -> list[TrajectoryPoint]:
         """Ingest an iterable of reports; return all emitted points."""
@@ -290,42 +302,55 @@ class TrackingSession:
     # ------------------------------------------------------------------
     def _on_sample(self, sample: PairSample) -> TrajectoryPoint:
         """Advance the tracker by one timeline instant."""
-        tracer = self.system.tracer
         if self.state is SessionState.WARMING:
-            # Warm-up instant: run the multi-resolution positioner on
-            # the first snapshot, lock lobes, seed every candidate —
-            # exactly the batch pipeline's front half.
-            snapshot = PhaseSnapshot(
-                pairs=self.pairs,
-                delta_phi=np.array(
-                    [wrap_to_pi(value) for value in sample.delta_phi]
-                ),
-                time=sample.time,
-            )
-            self.candidates = self.system.positioner.candidates(
-                snapshot, self.candidate_count
-            )
-            if not self.candidates:
-                raise ValueError("the positioner produced no candidates")
-            starts = np.stack(
-                [candidate.position for candidate in self.candidates]
-            )
-            self._trace_state = tracer.begin(
-                self.pairs,
-                sample.delta_phi,
-                starts,
-                prune_margin=self.prune_margin,
-                prune_burn_in=self.prune_burn_in,
-            )
-            self._running_votes = self._trace_state.running
-            self.state = SessionState.TRACKING
-        positions, votes = tracer.step(self._trace_state, sample.delta_phi)
-        # The step returns rows for the candidates still active (all of
-        # them unless pruning is on). The emitted point is the best
-        # *active* candidate by running vote sum — a pruned candidate's
-        # frozen sum can drift above the leader's late in a long trace,
-        # but it has no live position to report (and finalize resumes it
-        # if it could actually win).
+            self._warm_up(sample)
+        positions, votes = self.system.tracer.step(
+            self._trace_state, sample.delta_phi
+        )
+        return self._emit_point(sample, positions, votes)
+
+    def _warm_up(self, sample: PairSample) -> None:
+        """Warm-up instant: run the multi-resolution positioner on the
+        first snapshot, lock lobes, seed every candidate — exactly the
+        batch pipeline's front half."""
+        snapshot = PhaseSnapshot(
+            pairs=self.pairs,
+            delta_phi=np.array(
+                [wrap_to_pi(value) for value in sample.delta_phi]
+            ),
+            time=sample.time,
+        )
+        self.candidates = self.system.positioner.candidates(
+            snapshot, self.candidate_count
+        )
+        if not self.candidates:
+            raise ValueError("the positioner produced no candidates")
+        starts = np.stack(
+            [candidate.position for candidate in self.candidates]
+        )
+        self._trace_state = self.system.tracer.begin(
+            self.pairs,
+            sample.delta_phi,
+            starts,
+            prune_margin=self.prune_margin,
+            prune_burn_in=self.prune_burn_in,
+        )
+        self._running_votes = self._trace_state.running
+        self.state = SessionState.TRACKING
+
+    def _emit_point(
+        self, sample: PairSample, positions: np.ndarray, votes: np.ndarray
+    ) -> TrajectoryPoint:
+        """Fold one solved step (from :meth:`~repro.core.engine.BatchedTracer.step`
+        or a merged ``step_many`` row) into the session's histories.
+
+        The step returns rows for the candidates still active (all of
+        them unless pruning is on). The emitted point is the best
+        *active* candidate by running vote sum — a pruned candidate's
+        frozen sum can drift above the leader's late in a long trace,
+        but it has no live position to report (and finalize resumes it
+        if it could actually win).
+        """
         stepped = self._trace_state.active_history[-1]
         if stepped.size == self._running_votes.size:
             row = int(np.argmax(self._running_votes))

@@ -161,6 +161,7 @@ class ScenarioSpec:
     reader_dwell: float = 0.04
     sample_rate: float = 20.0
     candidate_count: int = 8
+    service_shards: int = 0
     faults: FaultSpec = field(default_factory=FaultSpec)
 
     def __post_init__(self) -> None:
@@ -182,6 +183,11 @@ class ScenarioSpec:
         if self.candidate_count < 1:
             raise ConfigError(
                 f"scenario {self.name!r}: candidate_count must be >= 1"
+            )
+        if self.service_shards < 0:
+            raise ConfigError(
+                f"scenario {self.name!r}: service_shards must be >= 0 "
+                "(0 replays in-process, N runs N service shards)"
             )
 
 
@@ -215,6 +221,7 @@ _SCENARIO_TYPES = {
     "distance": float, "los": bool, "letter_height": float,
     "phase_noise_sigma": float, "antenna_jitter_sigma": float,
     "reader_dwell": float, "sample_rate": float, "candidate_count": int,
+    "service_shards": int,
 }
 #: Scenario fields a ``[scenario.grid]`` table may sweep (scalars only).
 _GRIDDABLE = set(_SCENARIO_TYPES) - {"name"}

@@ -36,6 +36,7 @@ from repro.analysis.metrics import trajectory_error_rfidraw
 from repro.experiments.scenarios import ScenarioConfig, simulate_word
 from repro.handwriting.recognizer import CharacterRecognizer, WordRecognizer
 from repro.io.logs import save_phase_log
+from repro.stream.config import SessionConfig
 from repro.stream.manager import SessionManager
 from repro.testbed.config import ScenarioSpec, TestbedConfig
 from repro.testbed.faults import FaultPipeline
@@ -162,13 +163,17 @@ def _run_scenario_body(
         with tempfile.TemporaryDirectory() as tmp:
             log_path = Path(tmp) / f"{_slug(spec.name)}.jsonl"
             save_phase_log(faulted, log_path)
-            results, stats = _replay(run, pipeline, log_path)
+            results, stats = _replay(
+                run, pipeline, log_path, shards=spec.service_shards
+            )
     else:
         replay_dir = Path(replay_dir)
         replay_dir.mkdir(parents=True, exist_ok=True)
         log_path = replay_dir / f"{_slug(spec.name)}.jsonl"
         save_phase_log(faulted, log_path)
-        results, stats = _replay(run, pipeline, log_path)
+        results, stats = _replay(
+            run, pipeline, log_path, shards=spec.service_shards
+        )
 
     score.manager_stats = stats.as_dict()
     result = results.get(real_epc)
@@ -198,13 +203,31 @@ def _run_scenario_body(
         )
 
 
-def _replay(run, pipeline: FaultPipeline, log_path: Path):
-    """Stream the recorded faulted log through a robust SessionManager."""
-    manager = SessionManager(
-        run.system,
-        out_of_order="drop",
-        sample_rate=run.config.sample_rate,
+def _replay(run, pipeline: FaultPipeline, log_path: Path, shards: int = 0):
+    """Stream the recorded faulted log through the robust ingest policy.
+
+    ``shards == 0`` replays through a single in-process
+    :class:`SessionManager` (the original path); ``shards >= 1`` routes
+    the same log through the sharded
+    :class:`repro.serve.TrackingService` — per-EPC results are
+    bit-identical either way (``tests/test_serve.py``), so the accuracy
+    gate scores the service tier against the very same baselines.
+    """
+    config = SessionConfig(
+        out_of_order="drop", sample_rate=run.config.sample_rate
     )
+    if shards > 0:
+        from repro.serve import replay_log
+
+        replay = replay_log(
+            run.system, log_path, shards=shards, config=config,
+            emit_points=False,
+        )
+        stats = dataclasses.replace(
+            replay.stats, injected=pipeline.flat_counters()
+        )
+        return replay.results, stats
+    manager = SessionManager(run.system, config=config)
     manager.note_injected(pipeline.flat_counters())
     results = manager.replay(log_path)
     return results, results.stats

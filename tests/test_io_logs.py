@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 
 from repro.io import (
+    LogReadStats,
     iter_phase_log,
+    iter_phase_logs,
     load_phase_log,
     load_trajectory,
     save_phase_log,
@@ -184,6 +186,55 @@ class TestNonStrictReads:
         path = tmp_path / "order.jsonl"
         save_phase_log(shuffled, path)
         assert list(iter_phase_log(path)) == shuffled
+
+
+class TestMultiLogFanIn:
+    def _per_reader_logs(self, tmp_path):
+        reports = [
+            PhaseReport(0.01 * k, f"{k % 3:024X}", 1 + k % 2, k % 8,
+                        1.0, -55.0)
+            for k in range(30)
+        ]
+        paths = []
+        for reader_id in (1, 2):
+            path = tmp_path / f"reader{reader_id}.jsonl"
+            save_phase_log(
+                [r for r in reports if r.reader_id == reader_id], path
+            )
+            paths.append(path)
+        return reports, paths
+
+    def test_merge_is_time_ordered_union(self, tmp_path):
+        reports, paths = self._per_reader_logs(tmp_path)
+        merged = list(iter_phase_logs(paths))
+        assert len(merged) == len(reports)
+        times = [r.time for r in merged]
+        assert times == sorted(times)
+        assert sorted(map(repr, merged)) == sorted(map(repr, reports))
+
+    def test_merge_is_lazy(self, tmp_path):
+        _, paths = self._per_reader_logs(tmp_path)
+        stream = iter_phase_logs(paths)
+        first = next(stream)
+        assert first.time == 0.0
+
+    def test_single_log_degenerate(self, tmp_path):
+        reports, paths = self._per_reader_logs(tmp_path)
+        alone = list(iter_phase_logs(paths[:1]))
+        assert [r.time for r in alone] == sorted(
+            r.time for r in reports if r.reader_id == 1
+        )
+
+    def test_shared_skip_stats(self, tmp_path):
+        _, paths = self._per_reader_logs(tmp_path)
+        for path in paths:
+            with path.open("a", encoding="utf-8") as handle:
+                handle.write("torn line\n")
+        stats = LogReadStats()
+        list(iter_phase_logs(paths, strict=False, stats=stats))
+        assert stats.skipped_lines == 2
+        with pytest.raises(ValueError):
+            list(iter_phase_logs(paths))
 
 
 class TestTrajectories:

@@ -7,6 +7,7 @@ gate script is exercised on synthetic score tables, so its failure modes
 without re-running simulations.
 """
 
+import dataclasses
 import importlib.util
 import json
 from pathlib import Path
@@ -97,6 +98,32 @@ class TestMatrixRun:
         # ghost EPCs opened sessions but never produced the real tag's
         # trajectory; they land in finalized/failed, not in limbo
         assert stats["finalized_sessions"] + stats["failed_sessions"] >= 1
+
+    def test_service_path_scores_identically(self, matrix):
+        """service_shards=N replays the same cell through the sharded
+        TrackingService; per-EPC bit-identity means identical scores."""
+        scores, _ = matrix
+        reference = scores["dirty"]
+        spec = dataclasses.replace(
+            tiny_config().scenarios[1],
+            name="dirty-sharded",
+            service_shards=2,
+        )
+        sharded = run_scenario(spec)
+        assert sharded.completed, sharded.error
+        assert sharded.recovered == reference.recovered
+        assert sharded.median_error_m == reference.median_error_m
+        assert sharded.p90_error_m == reference.p90_error_m
+        assert sharded.trajectory_points == reference.trajectory_points
+        assert sharded.char_accuracy == reference.char_accuracy
+        assert (
+            sharded.manager_stats["injected"]
+            == reference.manager_stats["injected"]
+        )
+        assert (
+            sharded.manager_stats["dropped_reports"]
+            == reference.manager_stats["dropped_reports"]
+        )
 
     def test_replay_logs_recorded(self, matrix):
         scores, replay_dir = matrix
