@@ -10,6 +10,9 @@ regressed:
 - any fresh scenario **crashed** instead of degrading gracefully
   (``completed: false`` — an unhandled exception inside the cell),
 - a scenario that used to recover the tag's trajectory no longer does,
+- a scenario whose baseline recognised the whole word
+  (``word_correct: true``) misclassifies it now — the lexicon-scale
+  cells pin index recall and the batched DTW engine this way,
 - a scenario's **median trajectory error** grew beyond the relative
   tolerance plus an absolute slack (the slack absorbs BLAS-level float
   jitter between machines),
@@ -122,6 +125,17 @@ def main(argv: list[str] | None = None) -> int:
                     f"{name}: median error {base_err:.4f} m -> "
                     f"{fresh_err:.4f} m (allowed {allowed:.4f} m)"
                 )
+
+        if (
+            committed.get("word_correct") is True
+            and measured.get("word_correct") is False
+            and status == "ok"
+        ):
+            status = "WORD REG"
+            failures.append(
+                f"{name}: word recognition regressed — "
+                f"{committed.get('word')!r} no longer recognised"
+            )
 
         base_acc = committed.get("char_accuracy")
         fresh_acc = measured.get("char_accuracy")

@@ -147,12 +147,26 @@ class CharacterRecognizer:
 class WordRecognizer:
     """Dictionary-constrained word recognition via synthesised templates.
 
+    A thin facade over two engines. With an explicit ``dictionary`` (or
+    the default embedded corpus) every template is rendered once at
+    construction — immutable, matrix-prefiltered, scored by one batched
+    DTW sweep; answers match the historical per-word scalar loop. With
+    ``lexicon=`` the recogniser delegates to the scalable subsystem
+    (`repro.lexicon`): feature-index pruning instead of the full
+    template-matrix broadcast, an LRU-bounded template cache, the same
+    batched DTW.
+
     Args:
         dictionary: candidate words (default: the embedded corpus).
         font: stroke font for template synthesis.
         resample: points per normalised trajectory.
         band: DTW band half-width.
-        shortlist: how many feature-nearest candidates get a DTW pass.
+        shortlist: how many pruned candidates get a DTW pass (default
+            110 against a dictionary, 256 against a lexicon).
+        lexicon: a ``repro.lexicon.Lexicon`` (or word count for the
+            shared deterministic lexicon) to recognise against instead
+            of a rendered dictionary. Mutually exclusive with
+            ``dictionary``.
     """
 
     def __init__(
@@ -161,37 +175,68 @@ class WordRecognizer:
         font: StrokeFont | None = None,
         resample: int = 128,
         band: int = 16,
-        shortlist: int = 110,
+        shortlist: int | None = None,
+        lexicon=None,
     ) -> None:
         self.font = font or default_font()
         self.resample = resample
         self.band = band
-        self.shortlist = shortlist
+        self._engine = None
+        if lexicon is not None:
+            if dictionary is not None:
+                raise ValueError("pass either a dictionary or a lexicon")
+            from repro.lexicon import (
+                DEFAULT_SHORTLIST,
+                LexiconRecognizer,
+                default_lexicon,
+            )
+
+            if isinstance(lexicon, int):
+                lexicon = default_lexicon(lexicon)
+            self.shortlist = (
+                DEFAULT_SHORTLIST if shortlist is None else shortlist
+            )
+            self._engine = LexiconRecognizer(
+                lexicon=lexicon,
+                font=font,
+                resample=resample,
+                band=band,
+                shortlist=self.shortlist,
+            )
+            self.dictionary = self._engine.lexicon.words
+            self._templates: dict[str, _Template] = {}
+            self._matrix = None
+            return
+        self.shortlist = 110 if shortlist is None else shortlist
         self.dictionary = tuple(dictionary if dictionary is not None else CORPUS)
         if not self.dictionary:
             raise ValueError("the dictionary is empty")
-        self._generator = HandwritingGenerator(
+        generator = HandwritingGenerator(
             style=UserStyle.neutral(), font=self.font
         )
-        self._templates: dict[str, _Template] = {}
+        # Every template is rendered here, once: construction is the
+        # only time the template set can change, so there is no cache
+        # to invalidate (the old lazily-built matrix kept scoring
+        # against a stale copy if the dictionary grew afterwards) and
+        # nothing grows per classify in long-running processes.
+        templates: dict[str, _Template] = {}
+        for word in self.dictionary:
+            trace = generator.word_trace(word)
+            normalized = normalize_trajectory(
+                trace.points, self.resample, deslant=True
+            )
+            normalized.setflags(write=False)
+            length, width = _shape_features(normalized)
+            templates[word] = _Template(word, normalized, length, width)
+        self._templates = templates
+        matrix = np.stack(
+            [templates[word].points for word in self.dictionary]
+        )  # (W, resample, 2)
+        matrix.setflags(write=False)
+        self._matrix = matrix
 
     def _template(self, word: str) -> _Template:
-        cached = self._templates.get(word)
-        if cached is not None:
-            return cached
-        trace = self._generator.word_trace(word)
-        normalized = normalize_trajectory(trace.points, self.resample, deslant=True)
-        length, width = _shape_features(normalized)
-        template = _Template(word, normalized, length, width)
-        self._templates[word] = template
-        return template
-
-    def _template_matrix(self) -> np.ndarray:
-        """Stacked normalised templates for the vectorised pre-filter."""
-        if getattr(self, "_matrix", None) is None:
-            stack = [self._template(word).points for word in self.dictionary]
-            self._matrix = np.stack(stack)  # (W, resample, 2)
-        return self._matrix
+        return self._templates[word]
 
     def shortlist_for(self, query: np.ndarray) -> list[str]:
         """Dictionary candidates ranked by linear-alignment distance.
@@ -201,30 +246,57 @@ class WordRecognizer:
         fully vectorised over the whole dictionary. DTW then re-ranks only
         the shortlist. Linear alignment is a (loose) lower-quality bound on
         DTW similarity that keeps the true word in the shortlist reliably.
+
+        Against a lexicon, ``query`` is the *raw* trajectory and pruning
+        runs on the feature index instead (the 100k template matrix
+        could not be rendered, let alone broadcast).
         """
-        matrix = self._template_matrix()
-        gaps = np.sqrt(((matrix - query) ** 2).sum(axis=2)).mean(axis=1)
+        if self._engine is not None:
+            picks = self._engine.index.shortlist(query)
+            return [self._engine.lexicon.words[int(i)] for i in picks]
+        gaps = np.sqrt(((self._matrix - query) ** 2).sum(axis=2)).mean(axis=1)
         order = np.argsort(gaps)[: self.shortlist]
         return [self.dictionary[int(index)] for index in order]
 
     def scores(self, points: np.ndarray) -> dict[str, float]:
         """DTW distance for the shortlisted dictionary candidates."""
+        if self._engine is not None:
+            return self._engine.scores(points)
+        from repro.lexicon.dtw_batch import dtw_distance_many
+
         query = normalize_trajectory(points, self.resample, deslant=True)
-        results: dict[str, float] = {}
-        bound = np.inf
-        for word in self.shortlist_for(query):
-            template = self._template(word)
-            distance = dtw_distance(
-                query,
-                template.points,
-                band=self.band,
-                early_abandon=bound * 3,
-            )
-            results[word] = distance
-            bound = min(bound, distance)
-        return results
+        words = self.shortlist_for(query)
+        stack = np.stack([self._templates[word].points for word in words])
+        distances = dtw_distance_many(query, stack, band=self.band)
+        return {
+            word: float(distance)
+            for word, distance in zip(words, distances)
+        }
+
+    def recognize(self, points: np.ndarray):
+        """Classify with work counters — a ``RecognitionResult``."""
+        if self._engine is not None:
+            return self._engine.recognize(points)
+        from repro.lexicon.recognizer import RecognitionResult
+
+        results = self.scores(points)
+        ranked = sorted(results.items(), key=lambda item: item[1])
+        word, distance = min(
+            results.items(), key=lambda item: item[1]
+        )
+        return RecognitionResult(
+            word=word,
+            distance=float(distance),
+            shortlist_size=len(results),
+            dtw_evals=int(np.isfinite(list(results.values())).sum()),
+            candidates=tuple(
+                (w, float(d)) for w, d in ranked[:5] if np.isfinite(d)
+            ),
+        )
 
     def classify(self, points: np.ndarray) -> str:
         """The most likely dictionary word for a whole-word trajectory."""
+        if self._engine is not None:
+            return self._engine.classify(points)
         scores = self.scores(points)
         return min(scores, key=scores.get)

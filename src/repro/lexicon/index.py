@@ -1,0 +1,188 @@
+"""Pruned candidate index over a :class:`~repro.lexicon.store.Lexicon`.
+
+Two tiers sit between a query trajectory and the DTW engine:
+
+* a **trie** over the word list for structural pruning — prefix and
+  length constraints resolve to candidate sets without touching any
+  geometry. The trie is stored implicitly: the words sorted
+  lexicographically with a rank permutation, so every prefix node *is*
+  a contiguous range of the sorted array (found by bisection) and the
+  whole 100k-word structure costs two arrays instead of half a million
+  dict nodes;
+* a **shape-feature scan** — the lexicon's 29 calibrated template
+  features (`repro.lexicon.store.FEATURE_NAMES`), pre-divided by the
+  per-feature style tolerance so a scan is one vectorised squared
+  distance over ``(W, 29)`` float32. Only the closest ``shortlist``
+  candidates (default ≤256) ever reach template synthesis + DTW.
+
+The scan replaces ``WordRecognizer.shortlist_for``'s full
+``(W, resample, 2)`` template-matrix broadcast, which cannot hold 100k
+templates (100k × 128 × 2 floats ≈ 200 MB, plus the render time).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.handwriting.font import StrokeFont
+from repro.lexicon.store import (
+    Lexicon,
+    default_lexicon,
+    query_features,
+    style_tolerance,
+)
+
+__all__ = ["Trie", "LexiconIndex", "DEFAULT_SHORTLIST"]
+
+#: Default shortlist size — candidates that survive feature pruning and
+#: are scored by DTW.
+DEFAULT_SHORTLIST = 256
+
+
+@dataclass(frozen=True)
+class Trie:
+    """Immutable prefix index over a word list.
+
+    Implicit representation: the vocabulary sorted lexicographically
+    plus the permutation back to the original (rank) order. A prefix
+    node is the contiguous sorted-range of words starting with that
+    prefix — two bisections find it — and descending an edge is just
+    extending the prefix. Semantics match a pointer trie (membership,
+    completion, subtree size) at a fraction of the memory.
+
+    Attributes:
+        words: the vocabulary in original (rank) order.
+    """
+
+    words: tuple[str, ...]
+    _sorted: tuple[str, ...] = field(init=False, repr=False, compare=False)
+    _order: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        order = sorted(range(len(self.words)), key=self.words.__getitem__)
+        object.__setattr__(
+            self, "_sorted", tuple(self.words[i] for i in order)
+        )
+        object.__setattr__(self, "_order", np.asarray(order, dtype=np.int64))
+
+    def _range(self, prefix: str) -> tuple[int, int]:
+        lo = bisect_left(self._sorted, prefix)
+        hi = bisect_right(self._sorted, prefix + "\U0010ffff")
+        return lo, hi
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def __contains__(self, word: object) -> bool:
+        if not isinstance(word, str):
+            return False
+        lo = bisect_left(self._sorted, word)
+        return lo < len(self._sorted) and self._sorted[lo] == word
+
+    def count(self, prefix: str) -> int:
+        """Number of words in the subtree under ``prefix``."""
+        lo, hi = self._range(prefix)
+        return hi - lo
+
+    def indices(self, prefix: str = "") -> np.ndarray:
+        """Original-order indices of all words under ``prefix``."""
+        lo, hi = self._range(prefix)
+        return self._order[lo:hi]
+
+    def complete(self, prefix: str, limit: int | None = None) -> list[str]:
+        """Words under ``prefix``, most frequent (lowest rank) first."""
+        picks = np.sort(self.indices(prefix))
+        if limit is not None:
+            picks = picks[:limit]
+        return [self.words[int(i)] for i in picks]
+
+
+class LexiconIndex:
+    """Feature + trie pruning: trajectory → ranked candidate shortlist.
+
+    Args:
+        lexicon: the lexicon to index; ``None`` uses the shared 100k
+            default.
+        font: stroke font the tolerances are calibrated against.
+        shortlist: default number of surviving candidates per query.
+    """
+
+    def __init__(
+        self,
+        lexicon: Lexicon | None = None,
+        font: StrokeFont | None = None,
+        shortlist: int = DEFAULT_SHORTLIST,
+    ) -> None:
+        if shortlist < 1:
+            raise ValueError("shortlist must be positive")
+        self.lexicon = lexicon if lexicon is not None else default_lexicon()
+        self.shortlist_size = int(shortlist)
+        self._tolerance = style_tolerance(font).astype(np.float32)
+        # Pre-divide by the style tolerance: the scan then is a plain
+        # squared Euclidean distance over float32.
+        scaled = self.lexicon.features / self._tolerance
+        scaled.setflags(write=False)
+        self._scaled = scaled
+        self._lengths = self.lexicon.lengths
+        self.trie = Trie(self.lexicon.words)
+
+    def __len__(self) -> int:
+        return len(self.lexicon)
+
+    # -- querying -------------------------------------------------------
+    def query_vector(self, points: np.ndarray) -> np.ndarray:
+        """Tolerance-scaled feature vector of a query trajectory."""
+        return (
+            query_features(points) / self._tolerance.astype(float)
+        ).astype(np.float32)
+
+    def shortlist(
+        self,
+        points: np.ndarray,
+        size: int | None = None,
+        prefix: str | None = None,
+        lengths: tuple[int, int] | None = None,
+    ) -> np.ndarray:
+        """Indices of the best candidates, closest feature distance first.
+
+        Args:
+            points: raw query trajectory, ``(N, 2)``.
+            size: shortlist override (default: the index's size).
+            prefix: restrict candidates to this trie subtree.
+            lengths: inclusive ``(min, max)`` letter-count window.
+
+        Returns:
+            ``(S,)`` int64 lexicon indices, ascending feature distance.
+        """
+        query = self.query_vector(points)
+        size = self.shortlist_size if size is None else int(size)
+        candidates: np.ndarray | None = None
+        if prefix:
+            candidates = self.trie.indices(prefix)
+        if lengths is not None:
+            low, high = lengths
+            in_window = np.flatnonzero(
+                (self._lengths >= low) & (self._lengths <= high)
+            )
+            candidates = (
+                in_window
+                if candidates is None
+                else np.intersect1d(candidates, in_window)
+            )
+        if candidates is None:
+            pool = self._scaled
+        else:
+            if not len(candidates):
+                return np.empty(0, dtype=np.int64)
+            pool = self._scaled[candidates]
+        delta = pool - query
+        distances = np.einsum("wf,wf->w", delta, delta)
+        size = min(size, len(distances))
+        picks = np.argpartition(distances, size - 1)[:size]
+        picks = picks[np.argsort(distances[picks], kind="stable")]
+        if candidates is not None:
+            picks = candidates[picks]
+        return picks.astype(np.int64)

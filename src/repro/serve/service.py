@@ -142,6 +142,12 @@ class TrackingService:
         emit_points: ship per-sample ``POINT`` events from the workers;
             disable when only lifecycle edges and final results matter
             (far less pickle traffic).
+        recognizer_factory: optional zero-arg callable (e.g.
+            ``repro.lexicon.RecognizerFactory``) shipped to every
+            shard; each worker builds its own recogniser from it and
+            classifies trajectories at finalize. Recognitions ride the
+            FINALIZED events; classification counters merge into the
+            drained :class:`ManagerStats`.
         start_method: ``multiprocessing`` start method override
             (defaults to ``fork`` where available).
     """
@@ -156,6 +162,7 @@ class TrackingService:
         max_pending_bursts: int = 4,
         event_queue_size: int = 4096,
         emit_points: bool = True,
+        recognizer_factory=None,
         start_method: str | None = None,
     ) -> None:
         if shards < 1:
@@ -171,6 +178,7 @@ class TrackingService:
         self.max_pending_bursts = max_pending_bursts
         self.event_queue_size = event_queue_size
         self.emit_points = emit_points
+        self.recognizer_factory = recognizer_factory
         self._ctx = _mp_context(start_method)
         self._started = False
         self._stopped = False
@@ -202,7 +210,7 @@ class TrackingService:
             proc = self._ctx.Process(
                 target=run_shard,
                 args=(child, self.system, self.config, shard,
-                      self.emit_points),
+                      self.emit_points, self.recognizer_factory),
                 daemon=True,
                 name=f"repro-serve-shard-{shard}",
             )

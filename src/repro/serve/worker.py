@@ -46,6 +46,7 @@ def run_shard(
     config: SessionConfig | None,
     shard: int,
     emit_points: bool = True,
+    recognizer_factory=None,
 ) -> None:
     """Process entry point: serve one shard until drained or stopped.
 
@@ -59,8 +60,18 @@ def run_shard(
             behavior matches a single manager run on the sub-stream.
         shard: this worker's index, echoed in replies.
         emit_points: ship per-sample ``POINT`` events across the pipe.
+        recognizer_factory: optional zero-arg callable (e.g.
+            ``repro.lexicon.RecognizerFactory``) building this shard's
+            word recogniser — live recognisers don't pickle, recipes
+            do. Finalized trajectories are then classified in the
+            worker; words ride the FINALIZED events, work counters the
+            drained stats.
     """
-    manager = SessionManager(system, config=config)
+    manager = SessionManager(
+        system,
+        config=config,
+        recognizer=None if recognizer_factory is None else recognizer_factory(),
+    )
     outbox: list = []
     manager.on_session_started = lambda e: outbox.append(e.detached())
     manager.on_session_finalized = lambda e: outbox.append(e.detached())

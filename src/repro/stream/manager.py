@@ -42,6 +42,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+import numpy as np
+
 from repro.core.pipeline import ReconstructionResult, RFIDrawSystem
 from repro.stream.config import SessionConfig, fold_legacy_kwargs
 from repro.rfid.reader import PhaseReport
@@ -97,6 +99,10 @@ class SessionEvent:
         result: the final reconstruction (``FINALIZED`` and ``EVICTED``
             events; ``None`` on an ``EVICTED`` event whose finalize
             failed — the error is then in ``SessionManager.failures``).
+        recognition: the classified word for the finalized trajectory
+            (``FINALIZED`` events of a manager constructed with a
+            ``recognizer``) — a
+            :class:`repro.lexicon.recognizer.RecognitionResult`.
     """
 
     type: SessionEventType
@@ -104,13 +110,15 @@ class SessionEvent:
     session: TrackingSession | None
     point: TrajectoryPoint | None = None
     result: ReconstructionResult | None = None
+    recognition: object | None = None
 
     def detached(self) -> "SessionEvent":
         """A copy without the live session reference.
 
-        The wire form: points and results pickle cleanly across a
-        process boundary, the session object (resampler buffers, trace
-        state, a reference to the whole system) does not belong on one.
+        The wire form: points, results and recognitions pickle cleanly
+        across a process boundary, the session object (resampler
+        buffers, trace state, a reference to the whole system) does not
+        belong on one.
         """
         if type(self) is SessionEvent:
             return dataclasses.replace(self, session=None)
@@ -119,6 +127,7 @@ class SessionEvent:
             session=None,
             point=self.point,
             result=self.result,
+            recognition=self.recognition,
         )
 
 
@@ -134,8 +143,11 @@ class _TypedSessionEvent(SessionEvent):
         session: TrackingSession | None,
         point: TrajectoryPoint | None = None,
         result: ReconstructionResult | None = None,
+        recognition: object | None = None,
     ) -> None:
-        super().__init__(self._TYPE, epc_hex, session, point, result)
+        super().__init__(
+            self._TYPE, epc_hex, session, point, result, recognition
+        )
 
 
 class SessionStarted(_TypedSessionEvent):
@@ -195,6 +207,16 @@ class ManagerStats:
         injected: external fault counters attached via
             :meth:`SessionManager.note_injected` (the testbed's
             fault-injection tallies); empty for live streams.
+        classified: finalized trajectories the manager's ``recognizer``
+            classified successfully.
+        recognition_errors: finalized trajectories whose recognition
+            raised (the result itself is unaffected).
+        dtw_evals: total completed DTW template evaluations across all
+            classifications (early-abandoned templates excluded).
+        shortlist_hist: ``{str(shortlist_size): count}`` histogram of
+            per-classification shortlist sizes — see
+            :meth:`shortlist_percentiles`. A dict keyed by stringified
+            size so it merges and serialises like :attr:`injected`.
     """
 
     open_sessions: int
@@ -209,10 +231,39 @@ class ManagerStats:
     skipped_foreign_reports: int
     skipped_log_lines: int
     injected: dict[str, int] = field(default_factory=dict)
+    classified: int = 0
+    recognition_errors: int = 0
+    dtw_evals: int = 0
+    shortlist_hist: dict[str, int] = field(default_factory=dict)
+
+    #: Dict-valued counters that merge per key over the union of keys.
+    _DICT_COUNTERS = ("injected", "shortlist_hist")
 
     def as_dict(self) -> dict:
         """Plain-dict form (JSON-ready, e.g. for score tables)."""
         return dataclasses.asdict(self)
+
+    def shortlist_percentiles(
+        self, percentiles: tuple[int, ...] = (50, 90, 99)
+    ) -> dict[str, float]:
+        """Shortlist-size percentiles from :attr:`shortlist_hist`.
+
+        Returns ``{"p50": ..., ...}``; empty when nothing was
+        classified. Exact percentiles of the recorded distribution —
+        the histogram keeps every distinct size, it merely stores them
+        sparsely.
+        """
+        if not self.shortlist_hist:
+            return {}
+        sizes = np.array(sorted(int(k) for k in self.shortlist_hist))
+        counts = np.array(
+            [self.shortlist_hist[str(s)] for s in sizes], dtype=float
+        )
+        cumulative = np.cumsum(counts) / counts.sum()
+        return {
+            f"p{q}": float(sizes[int(np.searchsorted(cumulative, q / 100.0))])
+            for q in percentiles
+        }
 
     def merge(self, other: "ManagerStats") -> "ManagerStats":
         """Sum two snapshots counter by counter.
@@ -228,15 +279,17 @@ class ManagerStats:
             return NotImplemented
         counters = {}
         for spec in dataclasses.fields(ManagerStats):
-            if spec.name == "injected":
+            if spec.name in self._DICT_COUNTERS:
                 continue
             counters[spec.name] = getattr(self, spec.name) + getattr(
                 other, spec.name
             )
-        injected = dict(self.injected)
-        for key, value in other.injected.items():
-            injected[key] = injected.get(key, 0) + value
-        return ManagerStats(injected=injected, **counters)
+        for name in self._DICT_COUNTERS:
+            merged = dict(getattr(self, name))
+            for key, value in getattr(other, name).items():
+                merged[key] = merged.get(key, 0) + value
+            counters[name] = merged
+        return ManagerStats(**counters)
 
     __add__ = merge
 
@@ -315,9 +368,22 @@ class SessionManager:
         idle_timeout: float | None = None,
         max_sessions: int | None = None,
         retain_results: int | None = None,
+        recognizer=None,
         **session_kwargs,
     ) -> None:
         self.system = system
+        # Optional word recogniser (e.g. ``WordRecognizer`` or
+        # ``repro.lexicon.LexiconRecognizer``): every successful
+        # finalize classifies the trajectory, attaches the
+        # ``RecognitionResult`` to the FINALIZED event and tallies the
+        # work in stats(). Recognition failures never fail the
+        # finalize — the trajectory is the product, the word a bonus.
+        self.recognizer = recognizer
+        self.recognitions: dict[str, object] = {}
+        self.classified = 0
+        self.recognition_errors = 0
+        self.dtw_evals = 0
+        self.shortlist_hist: dict[str, int] = {}
         legacy = dict(session_kwargs)
         for name, value in (
             ("idle_timeout", idle_timeout),
@@ -681,9 +747,14 @@ class SessionManager:
         self.failures.pop(epc_hex, None)
         self._open.pop(epc_hex, None)
         if not already:
+            recognition = None
+            if self.recognizer is not None:
+                recognition = self._recognize(epc_hex, result)
             self._fire(
                 self.on_session_finalized,
-                SessionFinalized(epc_hex, session, result=result),
+                SessionFinalized(
+                    epc_hex, session, result=result, recognition=recognition
+                ),
             )
             if self.retain_results is not None:
                 session.release()
@@ -695,10 +766,37 @@ class SessionManager:
                 self._shed_closed()
         return result
 
+    def _recognize(self, epc_hex: str, result: ReconstructionResult):
+        """Classify a finalized trajectory; tally the work, never raise."""
+        try:
+            if hasattr(self.recognizer, "recognize"):
+                recognition = self.recognizer.recognize(result.trajectory)
+            else:  # classify-only recogniser: no work counters to read
+                from repro.lexicon.recognizer import RecognitionResult
+
+                word = self.recognizer.classify(result.trajectory)
+                recognition = RecognitionResult(
+                    word=word,
+                    distance=float("nan"),
+                    shortlist_size=0,
+                    dtw_evals=0,
+                    candidates=(),
+                )
+        except Exception:
+            self.recognition_errors += 1
+            return None
+        self.classified += 1
+        self.dtw_evals += recognition.dtw_evals
+        key = str(recognition.shortlist_size)
+        self.shortlist_hist[key] = self.shortlist_hist.get(key, 0) + 1
+        self.recognitions[epc_hex] = recognition
+        return recognition
+
     def _shed_closed(self) -> None:
         """Drop the oldest closed sessions beyond the retention cap."""
         while len(self._closed_order) > self.retain_results:
             epc = self._closed_order.popleft()
+            self.recognitions.pop(epc, None)
             session = self.sessions.pop(epc, None)
             if session is not None:
                 # Fold the shed session's tallies into the accumulated
@@ -767,6 +865,10 @@ class SessionManager:
             skipped_foreign_reports=foreign,
             skipped_log_lines=self.skipped_log_lines,
             injected=dict(self.injected_counters),
+            classified=self.classified,
+            recognition_errors=self.recognition_errors,
+            dtw_evals=self.dtw_evals,
+            shortlist_hist=dict(self.shortlist_hist),
         )
 
     def finalize_all(

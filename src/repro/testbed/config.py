@@ -147,6 +147,12 @@ class ScenarioSpec:
     them straight through); ``word``/``user``/``seed`` select what gets
     written and by whom, exactly like a figure experiment's
     :class:`~repro.experiments.scenarios.WordJob`.
+
+    ``score_words`` forces whole-word recognition scoring for this cell
+    even when the run's global ``--score-words`` flag is off, and
+    ``lexicon`` picks the recognition vocabulary: ``0`` classifies
+    against the embedded corpus, ``N > 0`` against the deterministic
+    ``N``-word lexicon (`repro.lexicon`) through the indexed recogniser.
     """
 
     name: str
@@ -162,6 +168,8 @@ class ScenarioSpec:
     sample_rate: float = 20.0
     candidate_count: int = 8
     service_shards: int = 0
+    score_words: bool = False
+    lexicon: int = 0
     faults: FaultSpec = field(default_factory=FaultSpec)
 
     def __post_init__(self) -> None:
@@ -188,6 +196,11 @@ class ScenarioSpec:
             raise ConfigError(
                 f"scenario {self.name!r}: service_shards must be >= 0 "
                 "(0 replays in-process, N runs N service shards)"
+            )
+        if self.lexicon < 0:
+            raise ConfigError(
+                f"scenario {self.name!r}: lexicon must be >= 0 "
+                "(0 uses the embedded corpus, N the N-word lexicon)"
             )
 
 
@@ -221,7 +234,7 @@ _SCENARIO_TYPES = {
     "distance": float, "los": bool, "letter_height": float,
     "phase_noise_sigma": float, "antenna_jitter_sigma": float,
     "reader_dwell": float, "sample_rate": float, "candidate_count": int,
-    "service_shards": int,
+    "service_shards": int, "score_words": bool, "lexicon": int,
 }
 #: Scenario fields a ``[scenario.grid]`` table may sweep (scalars only).
 _GRIDDABLE = set(_SCENARIO_TYPES) - {"name"}

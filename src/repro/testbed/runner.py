@@ -28,6 +28,7 @@ import dataclasses
 import json
 import traceback
 from dataclasses import dataclass, field
+from functools import lru_cache
 from pathlib import Path
 
 import numpy as np
@@ -74,6 +75,7 @@ class ScenarioScore:
     char_accuracy: float | None = None
     chars_total: int = 0
     word_correct: bool | None = None
+    recognition: dict | None = None
     report_count: int = 0
     faulted_report_count: int = 0
     fault_counters: dict = field(default_factory=dict)
@@ -86,6 +88,19 @@ class ScenarioScore:
 def _slug(name: str) -> str:
     """Scenario name → safe replay-log filename stem."""
     return "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+
+
+@lru_cache(maxsize=4)
+def _lexicon_recognizer(size: int) -> WordRecognizer:
+    """Shared per-size lexicon recogniser.
+
+    Cells that set ``lexicon = N`` score against the deterministic
+    shared lexicon through the indexed engine (``0`` = the embedded
+    corpus); caching per size keeps the (expensive) lexicon build and
+    the template LRU warm across the matrix instead of rebuilding per
+    cell.
+    """
+    return WordRecognizer() if size == 0 else WordRecognizer(lexicon=size)
 
 
 def run_scenario(
@@ -102,7 +117,10 @@ def run_scenario(
         replay_dir: where to record the faulted JSONL replay log;
             ``None`` records into a throwaway temp dir.
         score_words: also run whole-word recognition (slower — a DTW
-            sweep over the embedded corpus per cell).
+            sweep over the candidate shortlist per cell). A cell can
+            force this on for itself with ``score_words = true`` in its
+            spec; ``lexicon = N`` there scores against the N-word
+            deterministic lexicon instead of the embedded corpus.
         recognizer / word_recognizer: share recognizers across cells
             (template setup is the expensive part).
     """
@@ -196,11 +214,19 @@ def _run_scenario_body(
     )
     score.chars_total = total
     score.char_accuracy = (correct / total) if total else None
-    if score_words:
-        word_recognizer = word_recognizer or WordRecognizer()
-        score.word_correct = (
-            word_recognizer.classify(trajectory) == spec.word
-        )
+    if score_words or spec.score_words:
+        if spec.lexicon > 0:
+            word_recognizer = _lexicon_recognizer(spec.lexicon)
+        else:
+            word_recognizer = word_recognizer or _lexicon_recognizer(0)
+        recognition = word_recognizer.recognize(trajectory)
+        score.word_correct = recognition.word == spec.word
+        score.recognition = {
+            "word": recognition.word,
+            "lexicon": spec.lexicon or len(word_recognizer.dictionary),
+            "shortlist_size": recognition.shortlist_size,
+            "dtw_evals": recognition.dtw_evals,
+        }
 
 
 def _replay(run, pipeline: FaultPipeline, log_path: Path, shards: int = 0):

@@ -1,0 +1,145 @@
+"""Trie semantics and feature-index recall.
+
+The recall tests replicate the fig14/fig15 evaluation cells exactly —
+same seeds, same word selection, same per-cell user style — and assert
+the true word survives feature-index pruning into the default shortlist
+against the full 100k lexicon. That is the property the accuracy gate's
+lexicon cell rides on: pruning may discard 99.7 % of the lexicon but
+never the answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenarios import user_style
+from repro.handwriting.corpus import sample_words, words_by_length
+from repro.handwriting.generator import HandwritingGenerator
+from repro.lexicon import DEFAULT_SHORTLIST, LexiconIndex, Trie, default_lexicon
+
+
+@pytest.fixture(scope="module")
+def lexicon():
+    return default_lexicon(100_000)
+
+
+@pytest.fixture(scope="module")
+def index(lexicon):
+    return LexiconIndex(lexicon)
+
+
+class TestTrie:
+    WORDS = ("car", "cart", "care", "dog", "do", "a")
+
+    def make(self):
+        return Trie(tuple(self.WORDS))
+
+    def test_contains(self):
+        trie = self.make()
+        assert "cart" in trie
+        assert "ca" not in trie
+        assert len(trie) == len(self.WORDS)
+
+    def test_count_prefix(self):
+        trie = self.make()
+        assert trie.count("car") == 3
+        assert trie.count("do") == 2
+        assert trie.count("") == len(self.WORDS)
+        assert trie.count("z") == 0
+
+    def test_indices_map_to_original_positions(self):
+        trie = self.make()
+        found = {self.WORDS[i] for i in trie.indices("car")}
+        assert found == {"car", "cart", "care"}
+
+    def test_complete_is_rank_ordered(self):
+        trie = self.make()
+        assert trie.complete("car") == ["car", "cart", "care"]
+        assert trie.complete("car", limit=2) == ["car", "cart"]
+
+    def test_lexicon_trie_agrees_with_membership(self, index):
+        trie = index.trie
+        assert len(trie) == len(index.lexicon)
+        for word in index.lexicon.words[:50]:
+            assert word in trie
+        assert trie.count("th") == sum(
+            1 for w in index.lexicon.words if w.startswith("th")
+        )
+
+
+def _fig14_cells():
+    """(word, user) per fig14 cell: seeds and sampling as the figure."""
+    rng = np.random.default_rng(14)
+    cells = []
+    for _ in (2.0, 3.0, 5.0):  # three distances, rng state advances
+        words = sample_words(8, rng, min_length=3, max_length=7)
+        cells.extend(
+            (word, w_index % 5) for w_index, word in enumerate(words)
+        )
+    return cells
+
+
+def _fig15_cells():
+    """(word, user) per fig15 cell: seeds and sampling as the figure."""
+    rng = np.random.default_rng(15)
+    grouped = words_by_length()
+    lengths = (2, 3, 4, 5, 6)
+    cells = []
+    for length in lengths:
+        if length == lengths[-1]:
+            pool = [
+                w
+                for group_length, ws in grouped.items()
+                if group_length >= length
+                for w in ws
+            ]
+        else:
+            pool = grouped.get(length, [])
+        chosen = [
+            pool[int(i)]
+            for i in rng.choice(len(pool), size=min(6, len(pool)), replace=False)
+        ]
+        cells.extend(
+            (word, w_index % 5) for w_index, word in enumerate(chosen)
+        )
+    return cells
+
+
+class TestShortlistRecall:
+    @pytest.mark.parametrize(
+        "cells", [_fig14_cells(), _fig15_cells()], ids=["fig14", "fig15"]
+    )
+    def test_true_word_survives_pruning(self, index, cells):
+        for word, user in cells:
+            generator = HandwritingGenerator(style=user_style(user))
+            trace = generator.word_trace(word)
+            picks = index.shortlist(trace.points)
+            assert len(picks) <= DEFAULT_SHORTLIST
+            words = {index.lexicon.words[int(i)] for i in picks}
+            assert word in words, f"{word!r} (user {user}) pruned away"
+
+    def test_neutral_words_rank_first(self, index):
+        generator = HandwritingGenerator()
+        for word in ("water", "people", "think"):
+            trace = generator.word_trace(word)
+            picks = index.shortlist(trace.points, size=8)
+            assert int(picks[0]) == index.lexicon.rank(word)
+
+
+class TestShortlistFilters:
+    def test_size_override(self, index):
+        trace = HandwritingGenerator().word_trace("water")
+        assert len(index.shortlist(trace.points, size=16)) == 16
+
+    def test_prefix_constrains_candidates(self, index):
+        trace = HandwritingGenerator().word_trace("water")
+        picks = index.shortlist(trace.points, prefix="wa")
+        words = [index.lexicon.words[int(i)] for i in picks]
+        assert words and all(w.startswith("wa") for w in words)
+        assert "water" in words
+
+    def test_length_window_constrains_candidates(self, index):
+        trace = HandwritingGenerator().word_trace("water")
+        picks = index.shortlist(trace.points, lengths=(5, 5))
+        words = [index.lexicon.words[int(i)] for i in picks]
+        assert words and all(len(w) == 5 for w in words)
+        assert "water" in words

@@ -1,0 +1,107 @@
+"""Unit tests for the deterministic lexicon store."""
+
+import numpy as np
+import pytest
+
+from repro.handwriting.corpus import CORPUS
+from repro.lexicon import (
+    FEATURE_NAMES,
+    Lexicon,
+    build_lexicon,
+    default_lexicon,
+    query_features,
+    template_features,
+)
+from repro.handwriting.generator import HandwritingGenerator
+
+
+@pytest.fixture(scope="module")
+def small_lexicon():
+    return build_lexicon(size=3000)
+
+
+class TestBuild:
+    def test_deterministic(self, small_lexicon):
+        again = build_lexicon(size=3000)
+        assert again.words == small_lexicon.words
+        assert np.array_equal(again.features, small_lexicon.features)
+
+    def test_corpus_occupies_top_ranks(self, small_lexicon):
+        assert small_lexicon.words[: len(CORPUS)] == tuple(CORPUS)
+
+    def test_words_distinct_and_lowercase(self, small_lexicon):
+        words = small_lexicon.words
+        assert len(set(words)) == len(words) == 3000
+        assert all(w.isalpha() and w == w.lower() for w in words)
+        # Generated tail words are always ≥ 2 letters (the corpus keeps
+        # its own one-letter words, e.g. "a").
+        assert all(len(w) >= 2 for w in words[len(CORPUS):])
+
+    def test_seed_changes_only_the_tail(self, small_lexicon):
+        other = build_lexicon(size=3000, seed=1)
+        split = len(CORPUS)
+        assert other.words[:split] == small_lexicon.words[:split]
+        assert other.words[split:] != small_lexicon.words[split:]
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            build_lexicon(size=0)
+
+    def test_default_lexicon_cached(self):
+        assert default_lexicon(1000) is default_lexicon(1000)
+
+
+class TestLexicon:
+    def test_rank_and_contains(self, small_lexicon):
+        word = small_lexicon.words[17]
+        assert word in small_lexicon
+        assert small_lexicon.rank(word) == 17
+        assert "zzzzzzzz" not in small_lexicon
+
+    def test_length_buckets_partition(self, small_lexicon):
+        buckets = small_lexicon.length_buckets()
+        total = sum(len(indices) for indices in buckets.values())
+        assert total == len(small_lexicon)
+        for length, indices in buckets.items():
+            assert all(
+                len(small_lexicon.words[int(i)]) == length for i in indices[:5]
+            )
+
+    def test_features_shape_and_immutability(self, small_lexicon):
+        assert small_lexicon.features.shape == (3000, len(FEATURE_NAMES))
+        assert np.isfinite(small_lexicon.features).all()
+        with pytest.raises(ValueError):
+            small_lexicon.features[0, 0] = 1.0
+
+    def test_save_load_roundtrip(self, small_lexicon, tmp_path):
+        path = tmp_path / "lexicon.npz"
+        small_lexicon.save(path)
+        loaded = Lexicon.load(path)
+        assert loaded.words == small_lexicon.words
+        assert np.array_equal(loaded.features, small_lexicon.features)
+
+
+class TestFeatures:
+    def test_template_features_match_lexicon(self, small_lexicon):
+        words = small_lexicon.words[:20]
+        features = template_features(words)
+        assert np.allclose(
+            features, small_lexicon.features[:20], atol=1e-6
+        )
+
+    def test_query_features_near_calibrated_templates(self):
+        # The calibration's whole point: a neutral handwriting trace's
+        # query features land near the word's template-feature row.
+        lexicon = default_lexicon(1000)
+        generator = HandwritingGenerator()
+        for word in ("water", "house", "think"):
+            trace = generator.word_trace(word)
+            q = query_features(trace.points)
+            row = lexicon.features[lexicon.rank(word)]
+            assert np.abs(q - row).max() < 0.5
+
+    def test_query_features_scale_and_translation_invariant(self):
+        trace = HandwritingGenerator().word_trace("water")
+        a = query_features(trace.points)
+        b = query_features(trace.points * 3.0 + 12.5)
+        assert np.allclose(a, b, atol=1e-9)

@@ -74,6 +74,15 @@ class TestScenarioSpec:
         with pytest.raises(ConfigError, match="name"):
             ScenarioSpec(name="")
 
+    def test_word_scoring_knobs_default_off(self):
+        spec = ScenarioSpec(name="x")
+        assert spec.score_words is False
+        assert spec.lexicon == 0
+
+    def test_negative_lexicon_rejected(self):
+        with pytest.raises(ConfigError, match="lexicon"):
+            ScenarioSpec(name="x", lexicon=-1)
+
 
 def write_toml(tmp_path, text, name="config.toml"):
     path = tmp_path / name
@@ -107,6 +116,20 @@ class TestLoadConfig:
         assert dropped.word == "cat" and dropped.seed == 4
         assert dropped.faults.drop_rate == 0.25
         assert not clean.faults.any_active
+
+    def test_word_scoring_fields_parse(self, tmp_path):
+        path = write_toml(tmp_path, """
+            name = "lex"
+
+            [[scenario]]
+            name = "big"
+            word = "water"
+            score_words = true
+            lexicon = 100000
+        """)
+        spec = load_config(path).scenarios[0]
+        assert spec.score_words is True
+        assert spec.lexicon == 100_000
 
     def test_json_format_by_extension(self, tmp_path):
         path = tmp_path / "config.json"

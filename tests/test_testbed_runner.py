@@ -148,6 +148,19 @@ class TestMatrixRun:
         assert not score.recovered
         assert "simulated meltdown" in score.error
 
+    def test_per_spec_word_scoring(self):
+        """A cell with ``score_words = true`` scores the word even when
+        the run's global --score-words flag is off (the CI accuracy
+        gate relies on this)."""
+        score = run_scenario(
+            ScenarioSpec(name="worded", word="hi", seed=0, score_words=True)
+        )
+        assert score.completed and score.recovered
+        assert score.word_correct is not None
+        assert score.recognition is not None
+        assert score.recognition["shortlist_size"] > 0
+        assert score.recognition["dtw_evals"] > 0
+
     def test_format_scores_table(self, matrix):
         scores, _ = matrix
         table = format_scores(list(scores.values()))
@@ -182,7 +195,7 @@ def load_gate():
 
 
 def score_entry(name, median=0.02, acc=1.0, completed=True, recovered=True,
-                error=None):
+                error=None, word_correct=None):
     return {
         "scenario": name,
         "word": "sun",
@@ -194,7 +207,7 @@ def score_entry(name, median=0.02, acc=1.0, completed=True, recovered=True,
         "trajectory_points": 50 if recovered else 0,
         "char_accuracy": acc if recovered else None,
         "chars_total": 3 if recovered else 0,
-        "word_correct": None,
+        "word_correct": word_correct,
         "report_count": 300,
         "faulted_report_count": 280,
         "fault_counters": {},
@@ -281,6 +294,16 @@ class TestAccuracyGate:
         fresh = [score_entry(n, acc=2 / 3) for n in "abc"]
         assert self.run_gate(gate, tmp_path, baseline, fresh) == 1
         assert "aggregate" in capsys.readouterr().err
+
+    def test_word_regression_fails(self, gate, tmp_path, capsys):
+        baseline = [score_entry("a", word_correct=True)]
+        fresh = [score_entry("a", word_correct=False)]
+        assert self.run_gate(gate, tmp_path, baseline, fresh) == 1
+        assert "word recognition" in capsys.readouterr().err
+        # unscored cells (None) never trip the word check
+        baseline = [score_entry("a", word_correct=True)]
+        fresh = [score_entry("a", word_correct=None)]
+        assert self.run_gate(gate, tmp_path, baseline, fresh) == 0
 
     def test_tolerances_adjustable(self, gate, tmp_path):
         baseline = [score_entry("a", median=0.020)]
